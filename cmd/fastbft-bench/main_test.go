@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "f1a"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestExperimentIDsAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments() {
+		if seen[e.id] {
+			t.Fatalf("duplicate experiment id %s", e.id)
+		}
+		seen[e.id] = true
+		if e.run == nil {
+			t.Fatalf("experiment %s has no runner", e.id)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSmallCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real TCP cluster")
+	}
+	if err := run([]string{"-f", "1", "-t", "1", "-ops", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadParameters(t *testing.T) {
+	if err := run([]string{"-f", "0"}); err == nil {
+		t.Fatal("expected error for f=0")
+	}
+	if err := run([]string{"-f", "1", "-t", "2"}); err == nil {
+		t.Fatal("expected error for t > f")
+	}
+}

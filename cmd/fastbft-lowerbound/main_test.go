@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsInvalidParameters(t *testing.T) {
+	// The construction needs t >= 2.
+	if err := run([]string{"-f", "2", "-t", "1"}); err == nil {
+		t.Fatal("expected error for t=1")
+	}
+	if err := run([]string{"-f", "1", "-t", "2"}); err == nil {
+		t.Fatal("expected error for t > f")
+	}
+}

@@ -1,0 +1,102 @@
+package fab
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sigcrypto"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+func buildCluster(t *testing.T, n, f, tt int, faulty map[types.ProcessID]bool, seed int64) (*sim.Network, []*Replica) {
+	t.Helper()
+	scheme := sigcrypto.NewHMAC(n, seed)
+	net := sim.NewNetwork(n)
+	reps := make([]*Replica, n)
+	for i := 0; i < n; i++ {
+		pid := types.ProcessID(i)
+		if faulty[pid] {
+			net.SetNode(pid, sim.SilentNode{})
+			continue
+		}
+		r, err := NewReplica(n, f, tt, pid, scheme.Signer(pid), scheme.Verifier(), types.Value("fab-value"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = r
+		net.SetNode(pid, sim.NewMachineNode(r))
+	}
+	return net, reps
+}
+
+func allDecided(reps []*Replica) func() bool {
+	return func() bool {
+		for _, r := range reps {
+			if r == nil {
+				continue
+			}
+			if _, ok := r.Decided(); !ok {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func TestFaBCommonCaseTwoSteps(t *testing.T) {
+	for _, p := range []struct{ f, t int }{{1, 1}, {2, 1}, {2, 2}, {3, 3}} {
+		n := MinProcesses(p.f, p.t)
+		net, reps := buildCluster(t, n, p.f, p.t, nil, 1)
+		if _, err := net.Run(10*time.Second, allDecided(reps)); err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range reps {
+			if _, ok := r.Decided(); !ok {
+				t.Fatalf("f=%d t=%d: %s did not decide", p.f, p.t, types.ProcessID(i))
+			}
+			steps, _ := net.DecisionSteps(types.ProcessID(i))
+			if steps != 2 {
+				t.Fatalf("f=%d t=%d: expected 2-step decision, got %d", p.f, p.t, steps)
+			}
+		}
+	}
+}
+
+func TestFaBStaysFastWithTSilentProcesses(t *testing.T) {
+	f, tt := 2, 1
+	n := MinProcesses(f, tt) // 9
+	faulty := map[types.ProcessID]bool{types.ProcessID(n - 1): true}
+	net, reps := buildCluster(t, n, f, tt, faulty, 2)
+	if _, err := net.Run(10*time.Second, allDecided(reps)); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reps {
+		if r == nil {
+			continue
+		}
+		if _, ok := r.Decided(); !ok {
+			t.Fatalf("%s did not decide", types.ProcessID(i))
+		}
+		steps, _ := net.DecisionSteps(types.ProcessID(i))
+		if steps != 2 {
+			t.Fatalf("expected 2 steps with %d silent, got %d", tt, steps)
+		}
+	}
+}
+
+func TestFaBRequiresThreeFPlusTwoTPlusOne(t *testing.T) {
+	// The FaB bound: n = 3f+2t+1. One fewer process must be rejected —
+	// exactly the gap the reproduced paper closes (its protocol runs on
+	// 3f+2t−1).
+	scheme := sigcrypto.NewHMAC(5, 1)
+	if _, err := NewReplica(5, 1, 1, 0, scheme.Signer(0), scheme.Verifier(), nil); err == nil {
+		t.Fatal("expected error for n=5 with f=t=1 (FaB needs 6)")
+	}
+	if MinProcesses(1, 1) != 6 {
+		t.Fatalf("MinProcesses(1,1) = %d, want 6", MinProcesses(1, 1))
+	}
+	if MinProcesses(2, 2) != 11 {
+		t.Fatalf("MinProcesses(2,2) = %d, want 5f+1=11", MinProcesses(2, 2))
+	}
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1a(t *testing.T) {
+	r, err := Figure1a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Format()
+	if !strings.Contains(out, "propose") || !strings.Contains(out, "ack") {
+		t.Fatalf("missing message rows:\n%s", out)
+	}
+	if !strings.Contains(out, "measured: 2") {
+		t.Fatalf("expected 2-step measurement:\n%s", out)
+	}
+	if strings.Contains(out, "UNEXPECTED") {
+		t.Fatalf("unexpected path:\n%s", out)
+	}
+}
+
+func TestFigure1b(t *testing.T) {
+	r, err := Figure1b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Format()
+	for _, kind := range []string{"vote", "certreq", "certack", "propose"} {
+		if !strings.Contains(out, kind) {
+			t.Fatalf("missing %s in view change timeline:\n%s", kind, out)
+		}
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	r, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Format()
+	if !strings.Contains(out, "commit") {
+		t.Fatalf("missing commit messages:\n%s", out)
+	}
+	if !strings.Contains(out, "measured: 3") {
+		t.Fatalf("expected 3-step slow path:\n%s", out)
+	}
+	if strings.Contains(out, "UNEXPECTED") {
+		t.Fatalf("unexpected path:\n%s", out)
+	}
+}
+
+func TestLowerBoundReport(t *testing.T) {
+	r, err := LowerBound(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Format()
+	if !strings.Contains(out, "disagreement exhibited") {
+		t.Fatalf("expected disagreement note:\n%s", out)
+	}
+	if !strings.Contains(out, "0 violations") {
+		t.Fatalf("expected clean tight configuration:\n%s", out)
+	}
+}
+
+func TestTableResilience(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep")
+	}
+	r, err := TableResilience()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Format()
+	// f=t=1: PBFT 4/3 steps, FaB 6/2, ours 4/2.
+	if !strings.Contains(out, "1  1  4") {
+		t.Fatalf("missing f=t=1 row:\n%s", out)
+	}
+	if len(r.Rows) != 10 { // f=1..4, t=1..f
+		t.Fatalf("expected 10 rows, got %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row[3] != "3" {
+			t.Fatalf("PBFT steps %s, want 3:\n%s", row[3], out)
+		}
+		if row[5] != "2" || row[7] != "2" {
+			t.Fatalf("fast protocols must take 2 steps:\n%s", out)
+		}
+	}
+}
+
+func TestTableLatency(t *testing.T) {
+	r, err := TableLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		want := "2"
+		if row[0] == "PBFT" {
+			want = "3"
+		}
+		if row[3] != want {
+			t.Fatalf("%s f=%s: steps %s, want %s", row[0], row[1], row[3], want)
+		}
+	}
+}
+
+func TestTableCertSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow blackout sweep")
+	}
+	r, err := TableCertSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("expected 5 rows, got %d", len(r.Rows))
+	}
+	// Bounded certificates: the proposal size must not grow with the view.
+	first, last := r.Rows[0][1], r.Rows[len(r.Rows)-1][1]
+	if len(last) > len(first)+1 {
+		t.Fatalf("proposal size appears to grow: %s -> %s", first, last)
+	}
+}
+
+func TestTableFastPathOptimalResilience(t *testing.T) {
+	r, err := TableFastPathOptimalResilience()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row[3] != "2" {
+			t.Fatalf("f=%s at n=%s: %s steps, want 2", row[0], row[1], row[3])
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package byz implements Byzantine behaviours for the simulator: message
+// forging on behalf of corrupted processes, equivocating leaders, selective
+// ack-senders, and vote withholders. The adversary model matches Section
+// 2.1: it controls up to f processes (and owns their signing keys) but can
+// neither forge signatures of correct processes nor tamper with channels.
+package byz
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/sigcrypto"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// Forger crafts protocol messages on behalf of one corrupted process.
+type Forger struct {
+	id     types.ProcessID
+	signer sigcrypto.Signer
+}
+
+// NewForger builds a forger for the corrupted process id using its signer
+// (the adversary owns corrupted processes' keys).
+func NewForger(id types.ProcessID, signer sigcrypto.Signer) *Forger {
+	return &Forger{id: id, signer: signer}
+}
+
+// ID returns the corrupted process identifier.
+func (f *Forger) ID() types.ProcessID { return f.id }
+
+// Propose builds a signed proposal for (x, v) with the given certificate.
+func (f *Forger) Propose(x types.Value, v types.View, cert *msg.ProgressCert) *msg.Propose {
+	return &msg.Propose{
+		View: v,
+		X:    x.Clone(),
+		Cert: cert,
+		Tau:  f.signer.Sign(msg.ProposeDigest(x, v)),
+	}
+}
+
+// Ack builds an acknowledgment for (x, v).
+func (f *Forger) Ack(x types.Value, v types.View) *msg.Ack {
+	return &msg.Ack{View: v, X: x.Clone()}
+}
+
+// AckSig builds a slow-path ack signature for (x, v).
+func (f *Forger) AckSig(x types.Value, v types.View) *msg.AckSig {
+	return &msg.AckSig{View: v, X: x.Clone(), Phi: f.signer.Sign(msg.AckDigest(x, v))}
+}
+
+// SignedVote builds a signed vote with an arbitrary record for new view v.
+func (f *Forger) SignedVote(vr msg.VoteRecord, v types.View) msg.SignedVote {
+	return msg.SignedVote{
+		Voter: f.id,
+		Vote:  vr,
+		Phi:   f.signer.Sign(msg.VoteDigest(vr, v)),
+	}
+}
+
+// Vote builds the vote message carrying an arbitrary record.
+func (f *Forger) Vote(vr msg.VoteRecord, v types.View) *msg.Vote {
+	return &msg.Vote{View: v, SV: f.SignedVote(vr, v)}
+}
+
+// CertAck builds an endorsement signature for (x, v) — a Byzantine process
+// may endorse anything.
+func (f *Forger) CertAck(x types.Value, v types.View) *msg.CertAck {
+	return &msg.CertAck{View: v, X: x.Clone(), Phi: f.signer.Sign(msg.CertAckDigest(x, v))}
+}
+
+// Wish builds a view-synchronization wish.
+func (f *Forger) Wish(v types.View) *msg.Wish { return &msg.Wish{View: v} }
+
+// EquivocatingLeader returns a node for a corrupted process that, as leader
+// of view 1, proposes Value1 to the processes in GroupA and Value2 to
+// everyone else, then acknowledges both values — the canonical equivocation
+// attack of Section 3.2. In later views it stays silent.
+type EquivocatingLeader struct {
+	Forger *Forger
+	N      int
+	Value1 types.Value
+	Value2 types.Value
+	// GroupA receives Value1; all other processes receive Value2.
+	GroupA map[types.ProcessID]bool
+}
+
+// Node builds the simulator node.
+func (e *EquivocatingLeader) Node() sim.Node {
+	return &sim.FuncNode{
+		Start: func(env *sim.Env) {
+			p1 := e.Forger.Propose(e.Value1, 1, nil)
+			p2 := e.Forger.Propose(e.Value2, 1, nil)
+			for i := 0; i < e.N; i++ {
+				pid := types.ProcessID(i)
+				if pid == e.Forger.ID() {
+					continue
+				}
+				if e.GroupA[pid] {
+					env.Send(pid, p1)
+				} else {
+					env.Send(pid, p2)
+				}
+			}
+			// Acknowledge both values to push each partition toward its own
+			// fast quorum.
+			for i := 0; i < e.N; i++ {
+				pid := types.ProcessID(i)
+				if pid == e.Forger.ID() {
+					continue
+				}
+				env.Send(pid, e.Forger.Ack(e.Value1, 1))
+				env.Send(pid, e.Forger.Ack(e.Value2, 1))
+				env.Send(pid, e.Forger.AckSig(e.Value1, 1))
+				env.Send(pid, e.Forger.AckSig(e.Value2, 1))
+			}
+		},
+	}
+}
+
+// SelectiveAcker is a corrupted non-leader that acknowledges every proposal
+// but only to a chosen subset of processes, trying to split fast quorums.
+type SelectiveAcker struct {
+	Forger *Forger
+	// Targets receive the acks; everyone else is ignored.
+	Targets []types.ProcessID
+}
+
+// Node builds the simulator node.
+func (s *SelectiveAcker) Node() sim.Node {
+	return &sim.FuncNode{
+		Msg: func(_ types.ProcessID, m msg.Message, env *sim.Env) {
+			p, ok := m.(*msg.Propose)
+			if !ok {
+				return
+			}
+			for _, to := range s.Targets {
+				env.Send(to, s.Forger.Ack(p.X, p.View))
+				env.Send(to, s.Forger.AckSig(p.X, p.View))
+			}
+		},
+	}
+}
+
+// StaleVoter is a corrupted process that answers every new leader with a
+// nil vote regardless of what it saw, trying to erase history during view
+// changes.
+type StaleVoter struct {
+	Forger *Forger
+	N      int
+}
+
+// Node builds the simulator node.
+func (s *StaleVoter) Node() sim.Node {
+	return &sim.FuncNode{
+		Msg: func(_ types.ProcessID, m msg.Message, env *sim.Env) {
+			w, ok := m.(*msg.Wish)
+			if !ok {
+				return
+			}
+			// Echo wishes (to keep view synchronization moving) and send a
+			// nil vote to the would-be leader of the wished view.
+			env.Broadcast(s.Forger.Wish(w.View))
+			leader := w.View.Leader(s.N)
+			env.Send(leader, s.Forger.Vote(msg.NilVote(), w.View))
+		},
+	}
+}
+
+// ForgedCertLeader is a corrupted new leader that proposes in its view with
+// a fabricated progress certificate (too few signatures, or signatures from
+// itself only). Correct processes must reject the proposal outright.
+type ForgedCertLeader struct {
+	Forger *Forger
+	N      int
+	View   types.View
+	Value  types.Value
+}
+
+// Node builds the simulator node: it waits for wishes toward its view and
+// then proposes with the bogus certificate.
+func (l *ForgedCertLeader) Node() sim.Node {
+	proposed := false
+	return &sim.FuncNode{
+		Msg: func(_ types.ProcessID, m msg.Message, env *sim.Env) {
+			w, ok := m.(*msg.Wish)
+			if !ok || w.View < l.View || proposed {
+				return
+			}
+			proposed = true
+			// A "certificate" consisting of the leader's own signature
+			// repeated — below CertQuorum distinct signers.
+			phi := l.Forger.CertAck(l.Value, l.View).Phi
+			cert := &msg.ProgressCert{
+				Value: l.Value.Clone(),
+				View:  l.View,
+				Sigs:  []sigcrypto.Signature{phi, phi},
+			}
+			p := l.Forger.Propose(l.Value, l.View, cert)
+			for i := 0; i < l.N; i++ {
+				if pid := types.ProcessID(i); pid != l.Forger.ID() {
+					env.Send(pid, p)
+				}
+			}
+		},
+	}
+}
+
+// Flooder spams junk protocol state: acks and ack signatures for thousands
+// of fabricated (view, value) pairs, plus wishes for huge views. Correct
+// processes must neither crash nor let their per-instance state grow without
+// bound (the replica caps tracked keys), and the protocol must still decide.
+type Flooder struct {
+	Forger *Forger
+	N      int
+	// Pairs is the number of junk (view, value) pairs to spray.
+	Pairs int
+}
+
+// Node builds the simulator node.
+func (fl *Flooder) Node() sim.Node {
+	return &sim.FuncNode{
+		Start: func(env *sim.Env) {
+			for i := 0; i < fl.Pairs; i++ {
+				v := types.View(1000 + i)
+				x := types.Value(fmt.Sprintf("junk-%d", i))
+				for q := 0; q < fl.N; q++ {
+					pid := types.ProcessID(q)
+					if pid == fl.Forger.ID() {
+						continue
+					}
+					env.Send(pid, fl.Forger.Ack(x, v))
+					env.Send(pid, fl.Forger.AckSig(x, v))
+				}
+			}
+		},
+	}
+}

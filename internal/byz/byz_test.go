@@ -1,0 +1,234 @@
+package byz
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// equivocationCluster builds a cluster whose view-1 leader equivocates
+// between "left" and "right", sending "left" to the first k correct
+// processes.
+func equivocationCluster(t *testing.T, cfg types.Config, k int, seed int64) *sim.Cluster {
+	t.Helper()
+	leader := types.View(1).Leader(cfg.N)
+	groupA := make(map[types.ProcessID]bool)
+	added := 0
+	for i := 0; i < cfg.N && added < k; i++ {
+		pid := types.ProcessID(i)
+		if pid == leader {
+			continue
+		}
+		groupA[pid] = true
+		added++
+	}
+	// The cluster constructor creates the scheme, so build it first with a
+	// placeholder and patch in the equivocator after.
+	c, err := sim.NewCluster(sim.ClusterConfig{
+		Cfg:    cfg,
+		Inputs: sim.DistinctInputs(cfg.N, "input"),
+		Seed:   seed,
+		Faulty: map[types.ProcessID]sim.Node{leader: sim.SilentNode{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := &EquivocatingLeader{
+		Forger: NewForger(leader, c.Scheme.Signer(leader)),
+		N:      cfg.N,
+		Value1: types.Value("left"),
+		Value2: types.Value("right"),
+		GroupA: groupA,
+	}
+	c.Net.SetNode(leader, eq.Node())
+	return c
+}
+
+func TestEquivocatingLeaderNeverViolatesConsistency(t *testing.T) {
+	for _, cfg := range []types.Config{
+		types.Generalized(1, 1), // n=4
+		types.Generalized(2, 1), // n=7
+		types.Vanilla(2),        // n=9
+	} {
+		for k := 0; k < cfg.N; k++ {
+			c := equivocationCluster(t, cfg, k, int64(100+k))
+			if _, err := c.Run(time.Minute); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.CheckAgreement(true); err != nil {
+				t.Fatalf("%s split=%d: %v", cfg, k, err)
+			}
+			// Every decided value must be one of the equivocated values (no
+			// third value can gather a quorum in view 1; later views must
+			// select a safe value which, if constrained, is one of these).
+			for _, p := range c.CorrectIDs() {
+				d, _ := c.Process(p).Decided()
+				ok := d.Value.Equal(types.Value("left")) || d.Value.Equal(types.Value("right"))
+				if !ok && d.View == 1 {
+					t.Fatalf("%s split=%d: %s decided unexpected value %s in view 1", cfg, k, p, d.Value)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectiveAckerCannotBlockOrSplit(t *testing.T) {
+	// A corrupted non-leader acks only to one target; everyone still
+	// decides the leader's value consistently.
+	cfg := types.Generalized(1, 1)
+	c, err := sim.NewCluster(sim.ClusterConfig{
+		Cfg:    cfg,
+		Inputs: sim.UniformInputs(cfg.N, types.Value("v")),
+		Seed:   7,
+		Faulty: map[types.ProcessID]sim.Node{3: sim.SilentNode{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := &SelectiveAcker{
+		Forger:  NewForger(3, c.Scheme.Signer(3)),
+		Targets: []types.ProcessID{0},
+	}
+	c.Net.SetNode(3, sa.Node())
+	if _, err := c.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckAgreement(true); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.CorrectIDs() {
+		d, _ := c.Process(p).Decided()
+		if !d.Value.Equal(types.Value("v")) {
+			t.Fatalf("%s decided %s", p, d.Value)
+		}
+	}
+}
+
+func TestStaleVoterCannotEraseDecision(t *testing.T) {
+	// Partition the network so only a fast quorum sees view 1, let them
+	// decide, then let a Byzantine stale voter push nil votes in view 2.
+	// The remaining correct process must still decide the same value.
+	cfg := types.Generalized(1, 1) // n=4, fast quorum 3
+	leader := types.View(1).Leader(cfg.N)
+	var isolated types.ProcessID
+	for i := 0; i < cfg.N; i++ {
+		if pid := types.ProcessID(i); pid != leader && pid != 3 {
+			isolated = pid
+			break
+		}
+	}
+	delta := sim.DefaultDelta
+	c, err := sim.NewCluster(sim.ClusterConfig{
+		Cfg:    cfg,
+		Inputs: sim.UniformInputs(cfg.N, types.Value("keep")),
+		Seed:   8,
+		Faulty: map[types.ProcessID]sim.Node{3: sim.SilentNode{}},
+		// Drop every message to the isolated process during view 1 (before
+		// 5Δ); deliver normally afterwards.
+		Latency: func(from, to types.ProcessID, m msg.Message, now sim.Time) (sim.Time, bool) {
+			if to == isolated && now < 5*delta {
+				return 0, false
+			}
+			return delta, true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := &StaleVoter{Forger: NewForger(3, c.Scheme.Signer(3)), N: cfg.N}
+	c.Net.SetNode(3, sv.Node())
+	if _, err := c.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckAgreement(true); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.CorrectIDs() {
+		d, _ := c.Process(p).Decided()
+		if !d.Value.Equal(types.Value("keep")) {
+			t.Fatalf("%s decided %s, want keep", p, d.Value)
+		}
+	}
+}
+
+func TestForgedCertificateLeaderCannotDecideOrBlock(t *testing.T) {
+	// The view-2 leader is Byzantine and proposes with a fabricated
+	// progress certificate (its own signature twice). Correct processes
+	// reject it; the system rotates past the bad leader and still decides,
+	// and never decides the forged value in view 2.
+	cfg := types.Generalized(1, 1)
+	leader1 := types.View(1).Leader(cfg.N)
+	leader2 := types.View(2).Leader(cfg.N)
+	if leader1 == leader2 {
+		t.Fatal("test setup: distinct leaders expected")
+	}
+	c, err := sim.NewCluster(sim.ClusterConfig{
+		Cfg:    cfg,
+		Inputs: sim.UniformInputs(cfg.N, types.Value("honest")),
+		Seed:   40,
+		Faulty: map[types.ProcessID]sim.Node{leader2: sim.SilentNode{}},
+		// Suppress view 1 entirely so view 2's forged proposal is the first
+		// thing correct processes see.
+		Latency: func(from, to types.ProcessID, m msg.Message, now sim.Time) (sim.Time, bool) {
+			if from == leader1 && m.Kind() == msg.KindPropose && m.InView() == 1 {
+				return 0, false
+			}
+			return sim.DefaultDelta, true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := &ForgedCertLeader{
+		Forger: NewForger(leader2, c.Scheme.Signer(leader2)),
+		N:      cfg.N,
+		View:   2,
+		Value:  types.Value("forged"),
+	}
+	c.Net.SetNode(leader2, forged.Node())
+	if _, err := c.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckAgreement(true); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.CorrectIDs() {
+		d, _ := c.Process(p).Decided()
+		if d.Value.Equal(types.Value("forged")) {
+			t.Fatalf("%s decided the forged value", p)
+		}
+	}
+}
+
+func TestFlooderCannotBlockDecisionOrExhaustState(t *testing.T) {
+	// A corrupted process sprays thousands of junk (view, value) tallies.
+	// The replicas' bounded-state maps must absorb it and the instance must
+	// still decide the honest value in two steps.
+	cfg := types.Generalized(1, 1)
+	c, err := sim.NewCluster(sim.ClusterConfig{
+		Cfg:    cfg,
+		Inputs: sim.UniformInputs(cfg.N, types.Value("real")),
+		Seed:   41,
+		Faulty: map[types.ProcessID]sim.Node{3: sim.SilentNode{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &Flooder{Forger: NewForger(3, c.Scheme.Signer(3)), N: cfg.N, Pairs: 5000}
+	c.Net.SetNode(3, fl.Node())
+	if _, err := c.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckAgreement(true); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.CorrectIDs() {
+		d, _ := c.Process(p).Decided()
+		if !d.Value.Equal(types.Value("real")) {
+			t.Fatalf("%s decided %s", p, d.Value)
+		}
+	}
+}

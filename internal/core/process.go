@@ -1,0 +1,83 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/sigcrypto"
+	"repro/internal/types"
+	"repro/internal/viewsync"
+)
+
+// Process composes the consensus replica with the view synchronizer into
+// one deterministic state machine with a single timer. It is the unit the
+// simulator and the real runtime drive.
+type Process struct {
+	replica *Replica
+	sync    *viewsync.Synchronizer
+}
+
+// NewProcess builds the full per-process state machine. baseTimeout is the
+// view-1 timer duration (viewsync.DefaultBaseTimeout if 0).
+func NewProcess(cfg types.Config, id types.ProcessID, signer sigcrypto.Signer, verifier sigcrypto.Verifier, input types.Value, baseTimeout time.Duration) (*Process, error) {
+	r, err := NewReplica(cfg, id, signer, verifier, input)
+	if err != nil {
+		return nil, err
+	}
+	return &Process{
+		replica: r,
+		sync:    viewsync.New(cfg.N, cfg.F, id, baseTimeout),
+	}, nil
+}
+
+// Replica exposes the consensus state machine (read-mostly: experiments
+// inspect views, votes, and decisions through it).
+func (p *Process) Replica() *Replica { return p.replica }
+
+// ID returns the process identifier.
+func (p *Process) ID() types.ProcessID { return p.replica.ID() }
+
+// Decided returns the decision, if one was reached.
+func (p *Process) Decided() (types.Decision, bool) { return p.replica.Decided() }
+
+// View returns the current view.
+func (p *Process) View() types.View { return p.replica.View() }
+
+// Init starts the process at time now: enter view 1 and arm the view timer.
+func (p *Process) Init(now Time) []Action {
+	out := p.sync.Init(now)
+	actions := p.applySync(out, now)
+	actions = append(actions, p.replica.Init()...)
+	return actions
+}
+
+// Deliver routes a message either to the view synchronizer (wishes) or to
+// the consensus replica (everything else).
+func (p *Process) Deliver(from types.ProcessID, m msg.Message, now Time) []Action {
+	if w, ok := m.(*msg.Wish); ok {
+		return p.applySync(p.sync.OnWish(from, w.View, now), now)
+	}
+	return p.replica.Deliver(from, m)
+}
+
+// Tick handles expiry of the view timer.
+func (p *Process) Tick(now Time) []Action {
+	return p.applySync(p.sync.OnTimeout(now), now)
+}
+
+// applySync converts a synchronizer output into runtime actions, entering
+// new views on the replica as needed.
+func (p *Process) applySync(out viewsync.Output, now Time) []Action {
+	var actions []Action
+	if out.Wish != nil {
+		actions = append(actions, BroadcastAction{Msg: out.Wish})
+	}
+	if out.Deadline != 0 {
+		actions = append(actions, TimerAction{Deadline: out.Deadline})
+	}
+	if out.Enter != 0 {
+		actions = append(actions, p.replica.EnterView(out.Enter)...)
+	}
+	_ = now
+	return actions
+}

@@ -1,0 +1,518 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/quorum"
+	"repro/internal/sigcrypto"
+	"repro/internal/types"
+)
+
+// maxTrackedKeys bounds the number of (view, value) pairs for which a
+// replica accumulates ack, ack-signature, or commit counters. Correct
+// processes generate one pair per view; the cap only limits how much junk
+// state f Byzantine senders can force a correct process to hold.
+const maxTrackedKeys = 4096
+
+// maxPendingMessages bounds the buffer of messages received for views the
+// replica has not entered yet (reliable channels may deliver a new leader's
+// proposal before the view-synchronization quorum is observed).
+const maxPendingMessages = 1024
+
+// ErrInvalidConfig is returned by NewReplica for configurations that violate
+// the resilience bounds of the paper.
+var ErrInvalidConfig = errors.New("core: invalid configuration")
+
+// adoptedProposal is the non-nil part of the replica's vote record: the last
+// proposal accepted, in the form (x, u, σ, τ) of Section 3.2.
+type adoptedProposal struct {
+	value types.Value
+	view  types.View
+	cert  *msg.ProgressCert
+	tau   sigcrypto.Signature
+}
+
+// voteKey indexes per-(view, value) tallies.
+type voteKey struct {
+	view  types.View
+	value string
+}
+
+// senderSet counts distinct senders.
+type senderSet map[types.ProcessID]struct{}
+
+// leaderState is the view-change state of the leader of the current view.
+type leaderState struct {
+	votes         map[types.ProcessID]msg.SignedVote
+	certRequested bool
+	selected      types.Value
+	certVotes     []msg.SignedVote
+	certAcks      *sigcrypto.Set
+	proposed      bool
+	culprit       types.ProcessID
+}
+
+// pendingMsg is a buffered future-view message.
+type pendingMsg struct {
+	from types.ProcessID
+	m    msg.Message
+}
+
+// Replica is the deterministic consensus state machine of one process. It
+// is not safe for concurrent use; runtimes serialize calls to it.
+type Replica struct {
+	cfg      types.Config
+	th       quorum.Thresholds
+	id       types.ProcessID
+	signer   sigcrypto.Signer
+	verifier sigcrypto.Verifier
+	input    types.Value
+
+	view    types.View
+	acked   bool // whether an ack was sent in the current view
+	adopted *adoptedProposal
+	latest  *msg.CommitCert // latest commit certificate collected
+
+	decided  bool
+	decision types.Decision
+
+	acks       map[voteKey]senderSet
+	ackSigs    map[voteKey]*sigcrypto.Set
+	commits    map[voteKey]senderSet
+	commitSent map[voteKey]bool
+
+	leader  *leaderState
+	pending map[types.View][]pendingMsg
+	nPend   int
+}
+
+// NewReplica creates the state machine of process id with the given input
+// value. Call Init to start view 1.
+func NewReplica(cfg types.Config, id types.ProcessID, signer sigcrypto.Signer, verifier sigcrypto.Verifier, input types.Value) (*Replica, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	if !id.Valid(cfg.N) {
+		return nil, fmt.Errorf("%w: process %v out of range for n=%d", ErrInvalidConfig, id, cfg.N)
+	}
+	return &Replica{
+		cfg:        cfg,
+		th:         quorum.New(cfg),
+		id:         id,
+		signer:     signer,
+		verifier:   verifier,
+		input:      input.Clone(),
+		acks:       make(map[voteKey]senderSet),
+		ackSigs:    make(map[voteKey]*sigcrypto.Set),
+		commits:    make(map[voteKey]senderSet),
+		commitSent: make(map[voteKey]bool),
+		pending:    make(map[types.View][]pendingMsg),
+	}, nil
+}
+
+// ID returns the process identifier.
+func (r *Replica) ID() types.ProcessID { return r.id }
+
+// View returns the current view number.
+func (r *Replica) View() types.View { return r.view }
+
+// Config returns the resilience configuration.
+func (r *Replica) Config() types.Config { return r.cfg }
+
+// Decided returns the decision, if one was reached.
+func (r *Replica) Decided() (types.Decision, bool) { return r.decision, r.decided }
+
+// Input returns the process's input value.
+func (r *Replica) Input() types.Value { return r.input.Clone() }
+
+// CurrentVote materializes the process's vote record vote_q: the adopted
+// proposal plus the latest collected commit certificate (Appendix A.2).
+func (r *Replica) CurrentVote() msg.VoteRecord {
+	if r.adopted == nil {
+		// Even with no adopted proposal the vote carries the latest commit
+		// certificate: a process may assemble one from ack signatures
+		// without ever receiving the proposal, and omitting it could hide a
+		// slow-path decision from the selection algorithm.
+		vr := msg.NilVote()
+		vr.CC = r.latest.Clone()
+		return vr
+	}
+	return msg.VoteRecord{
+		Value: r.adopted.value.Clone(),
+		View:  r.adopted.view,
+		Cert:  r.adopted.cert.Clone(),
+		Tau:   r.adopted.tau.Clone(),
+		CC:    r.latest.Clone(),
+	}
+}
+
+// Init starts the protocol: every process begins in view 1, and leader(1)
+// immediately proposes its input (Section 3).
+func (r *Replica) Init() []Action {
+	return r.enterView(1)
+}
+
+// EnterView advances the replica to view v (driven by the view
+// synchronizer). Views never decrease; stale requests are ignored.
+func (r *Replica) EnterView(v types.View) []Action {
+	if v <= r.view {
+		return nil
+	}
+	return r.enterView(v)
+}
+
+func (r *Replica) enterView(v types.View) []Action {
+	r.view = v
+	r.acked = false
+	r.leader = nil
+	var out []Action
+	out = append(out, EnterViewAction{View: v})
+
+	leader := v.Leader(r.cfg.N)
+	switch {
+	case leader == r.id && v == 1:
+		// The first leader proposes its own input with an empty certificate.
+		tau := r.signer.Sign(msg.ProposeDigest(r.input, 1))
+		p := &msg.Propose{View: 1, X: r.input.Clone(), Cert: nil, Tau: tau}
+		out = append(out, r.broadcast(p)...)
+	case leader == r.id:
+		// Run the view change: collect n−f votes, starting with our own.
+		r.leader = &leaderState{
+			votes:   make(map[types.ProcessID]msg.SignedVote, r.cfg.N),
+			culprit: types.NoProcess,
+		}
+		own := r.signedVote(v)
+		r.leader.votes[r.id] = own
+		out = append(out, r.tryViewChange()...)
+	case v > 1:
+		// Help the new leader: send our current vote.
+		out = append(out, SendAction{To: leader, Msg: &msg.Vote{View: v, SV: r.signedVote(v)}})
+	}
+
+	// Replay messages buffered for this view; drop older buffers.
+	for bv, batch := range r.pending {
+		if bv > v {
+			continue
+		}
+		delete(r.pending, bv)
+		r.nPend -= len(batch)
+		if bv < v {
+			continue
+		}
+		for _, p := range batch {
+			out = append(out, r.Deliver(p.from, p.m)...)
+		}
+	}
+	return out
+}
+
+// signedVote builds this process's signed vote for new view v.
+func (r *Replica) signedVote(v types.View) msg.SignedVote {
+	vr := r.CurrentVote()
+	phi := r.signer.Sign(msg.VoteDigest(vr, v))
+	return msg.SignedVote{Voter: r.id, Vote: vr, Phi: phi}
+}
+
+// Deliver processes one message from a (channel-authenticated) sender and
+// returns the resulting actions.
+func (r *Replica) Deliver(from types.ProcessID, m msg.Message) []Action {
+	if !from.Valid(r.cfg.N) {
+		return nil
+	}
+	switch t := m.(type) {
+	case *msg.Propose:
+		return r.onPropose(from, t)
+	case *msg.Ack:
+		return r.onAck(from, t)
+	case *msg.AckSig:
+		return r.onAckSig(from, t)
+	case *msg.Vote:
+		return r.onVote(from, t)
+	case *msg.CertRequest:
+		return r.onCertRequest(from, t)
+	case *msg.CertAck:
+		return r.onCertAck(from, t)
+	case *msg.Commit:
+		return r.onCommit(from, t)
+	default:
+		// Wish messages belong to the view synchronizer (see Process).
+		return nil
+	}
+}
+
+// buffer stores a future-view message for replay on view entry.
+func (r *Replica) buffer(from types.ProcessID, m msg.Message) {
+	if r.nPend >= maxPendingMessages {
+		return
+	}
+	v := m.InView()
+	r.pending[v] = append(r.pending[v], pendingMsg{from: from, m: m})
+	r.nPend++
+}
+
+// broadcast emits a BroadcastAction and processes the replica's own copy,
+// so that tallies include the sender itself (the paper's "sends to every
+// process" includes the sender).
+func (r *Replica) broadcast(m msg.Message) []Action {
+	out := []Action{BroadcastAction{Msg: m}}
+	out = append(out, r.Deliver(r.id, m)...)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Proposal and fast path (Section 3.1, Appendix A.1)
+// ---------------------------------------------------------------------------
+
+func (r *Replica) onPropose(from types.ProcessID, m *msg.Propose) []Action {
+	switch {
+	case m.View > r.view:
+		r.buffer(from, m)
+		return nil
+	case m.View < r.view:
+		return nil
+	}
+	leader := m.View.Leader(r.cfg.N)
+	if from != leader && from != r.id {
+		return nil
+	}
+	if r.acked {
+		return nil // at most one ack per view
+	}
+	if m.Tau.Signer != leader || !r.verifier.Verify(msg.ProposeDigest(m.X, m.View), m.Tau) {
+		return nil
+	}
+	if !m.Cert.VerifyFor(r.verifier, r.th, m.X, m.View) {
+		return nil
+	}
+
+	// Accept: adopt the vote (before sending the ack, per Section 3.2), then
+	// acknowledge to every process, attaching the slow-path signature in a
+	// separate message so the fast path is never delayed by extra signing.
+	r.acked = true
+	r.adopted = &adoptedProposal{
+		value: m.X.Clone(),
+		view:  m.View,
+		cert:  m.Cert.Clone(),
+		tau:   m.Tau.Clone(),
+	}
+	var out []Action
+	out = append(out, r.broadcast(&msg.Ack{View: m.View, X: m.X})...)
+	phi := r.signer.Sign(msg.AckDigest(m.X, m.View))
+	out = append(out, r.broadcast(&msg.AckSig{View: m.View, X: m.X, Phi: phi})...)
+	return out
+}
+
+func (r *Replica) onAck(from types.ProcessID, m *msg.Ack) []Action {
+	key := voteKey{view: m.View, value: string(m.X)}
+	set, ok := r.acks[key]
+	if !ok {
+		if len(r.acks) >= maxTrackedKeys {
+			return nil
+		}
+		set = make(senderSet)
+		r.acks[key] = set
+	}
+	set[from] = struct{}{}
+	if len(set) >= r.th.FastQuorum() {
+		return r.decide(m.X, m.View, types.FastPath)
+	}
+	return nil
+}
+
+func (r *Replica) onAckSig(from types.ProcessID, m *msg.AckSig) []Action {
+	if m.Phi.Signer != from {
+		return nil
+	}
+	key := voteKey{view: m.View, value: string(m.X)}
+	set, ok := r.ackSigs[key]
+	if !ok {
+		if len(r.ackSigs) >= maxTrackedKeys {
+			return nil
+		}
+		set = sigcrypto.NewSet(msg.AckDigest(m.X, m.View))
+		r.ackSigs[key] = set
+	}
+	if !set.Add(r.verifier, m.Phi) {
+		return nil
+	}
+	if set.Len() >= r.th.CommitQuorum() && !r.commitSent[key] {
+		r.commitSent[key] = true
+		cc := &msg.CommitCert{Value: m.X.Clone(), View: m.View, Sigs: set.Signatures()}
+		r.updateLatestCC(cc)
+		return r.broadcast(&msg.Commit{View: m.View, X: m.X, CC: *cc})
+	}
+	return nil
+}
+
+func (r *Replica) onCommit(from types.ProcessID, m *msg.Commit) []Action {
+	if !m.CC.Value.Equal(m.X) || m.CC.View != m.View {
+		return nil
+	}
+	if !m.CC.Verify(r.verifier, r.th) {
+		return nil
+	}
+	r.updateLatestCC(&m.CC)
+	key := voteKey{view: m.View, value: string(m.X)}
+	set, ok := r.commits[key]
+	if !ok {
+		if len(r.commits) >= maxTrackedKeys {
+			return nil
+		}
+		set = make(senderSet)
+		r.commits[key] = set
+	}
+	set[from] = struct{}{}
+	if len(set) >= r.th.CommitQuorum() {
+		return r.decide(m.X, m.View, types.SlowPath)
+	}
+	return nil
+}
+
+func (r *Replica) updateLatestCC(cc *msg.CommitCert) {
+	if r.latest == nil || cc.View > r.latest.View {
+		r.latest = cc.Clone()
+	}
+}
+
+func (r *Replica) decide(x types.Value, v types.View, path types.DecidePath) []Action {
+	if r.decided {
+		return nil
+	}
+	r.decided = true
+	r.decision = types.Decision{Value: x.Clone(), View: v, Path: path}
+	return []Action{DecideAction{Decision: r.decision}}
+}
+
+// ---------------------------------------------------------------------------
+// View change (Section 3.2, Appendix A.2)
+// ---------------------------------------------------------------------------
+
+func (r *Replica) onVote(from types.ProcessID, m *msg.Vote) []Action {
+	switch {
+	case m.View > r.view:
+		r.buffer(from, m)
+		return nil
+	case m.View < r.view:
+		return nil
+	}
+	if r.leader == nil || m.View.Leader(r.cfg.N) != r.id {
+		return nil
+	}
+	if m.SV.Voter != from {
+		return nil
+	}
+	if _, dup := r.leader.votes[from]; dup {
+		return nil
+	}
+	if !m.SV.Valid(r.verifier, r.th, m.View) {
+		return nil
+	}
+	r.leader.votes[from] = m.SV.Clone()
+	return r.tryViewChange()
+}
+
+// tryViewChange runs the selection algorithm on the votes collected so far
+// and, once it succeeds, starts the certificate round (Section 3.2).
+func (r *Replica) tryViewChange() []Action {
+	ls := r.leader
+	if ls == nil || ls.certRequested {
+		return nil
+	}
+	votes := make([]msg.SignedVote, 0, len(ls.votes))
+	for _, sv := range ls.votes {
+		votes = append(votes, sv)
+	}
+	out, err := Select(r.th, r.verifier, r.view, votes)
+	if err != nil {
+		return nil // ErrNeedMoreVotes: keep collecting
+	}
+	if out.Free {
+		ls.selected = r.input.Clone()
+	} else {
+		ls.selected = out.Value.Clone()
+	}
+	ls.culprit = out.Culprit
+	ls.certVotes = sortedVotes(votes)
+	ls.certRequested = true
+	ls.certAcks = sigcrypto.NewSet(msg.CertAckDigest(ls.selected, r.view))
+
+	// Endorse our own selection, then ask 2f other processes, so that f+1
+	// correct endorsements are guaranteed among the 2f+1 contacted.
+	actions := []Action{}
+	own := r.signer.Sign(msg.CertAckDigest(ls.selected, r.view))
+	ls.certAcks.Add(r.verifier, own)
+	req := &msg.CertRequest{View: r.view, X: ls.selected.Clone(), Votes: ls.certVotes}
+	sent := 1 // ourselves
+	for p := types.ProcessID(0); int(p) < r.cfg.N && sent < r.th.CertRequestSet(); p++ {
+		if p == r.id {
+			continue
+		}
+		actions = append(actions, SendAction{To: p, Msg: req})
+		sent++
+	}
+	actions = append(actions, r.maybePropose()...)
+	return actions
+}
+
+func (r *Replica) onCertRequest(from types.ProcessID, m *msg.CertRequest) []Action {
+	// Certificate verification is stateless: the votes alone prove that the
+	// value is safe in m.View (Section 3.2 — "at least one correct process
+	// verified that the leader performed the selection algorithm
+	// correctly"), so a process may endorse regardless of its current view.
+	if err := VerifyCertRequest(r.th, r.verifier, m); err != nil {
+		return nil
+	}
+	phi := r.signer.Sign(msg.CertAckDigest(m.X, m.View))
+	return []Action{SendAction{To: from, Msg: &msg.CertAck{View: m.View, X: m.X, Phi: phi}}}
+}
+
+func (r *Replica) onCertAck(from types.ProcessID, m *msg.CertAck) []Action {
+	switch {
+	case m.View > r.view:
+		r.buffer(from, m)
+		return nil
+	case m.View < r.view:
+		return nil
+	}
+	ls := r.leader
+	if ls == nil || !ls.certRequested || ls.proposed {
+		return nil
+	}
+	if !m.X.Equal(ls.selected) || m.Phi.Signer != from {
+		return nil
+	}
+	if !ls.certAcks.Add(r.verifier, m.Phi) {
+		return nil
+	}
+	return r.maybePropose()
+}
+
+// maybePropose sends the Propose once f+1 CertAck signatures are collected.
+func (r *Replica) maybePropose() []Action {
+	ls := r.leader
+	if ls == nil || ls.proposed || ls.certAcks == nil || ls.certAcks.Len() < r.th.CertQuorum() {
+		return nil
+	}
+	ls.proposed = true
+	cert := &msg.ProgressCert{
+		Value: ls.selected.Clone(),
+		View:  r.view,
+		Sigs:  ls.certAcks.Signatures(),
+	}
+	tau := r.signer.Sign(msg.ProposeDigest(ls.selected, r.view))
+	return r.broadcast(&msg.Propose{View: r.view, X: ls.selected.Clone(), Cert: cert, Tau: tau})
+}
+
+// sortedVotes orders votes by voter for deterministic certificates.
+func sortedVotes(votes []msg.SignedVote) []msg.SignedVote {
+	out := make([]msg.SignedVote, len(votes))
+	copy(out, votes)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Voter < out[j-1].Voter; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

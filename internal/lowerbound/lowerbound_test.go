@@ -1,0 +1,123 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+func TestMakeGroups(t *testing.T) {
+	tests := []struct {
+		f, t    int
+		wantN   int
+		wantErr bool
+	}{
+		{2, 2, 8, false},
+		{3, 2, 11, false},
+		{3, 3, 13, false},
+		{4, 2, 14, false},
+		{1, 1, 0, true}, // construction needs t >= 2
+		{2, 1, 0, true},
+		{2, 3, 0, true}, // t > f
+	}
+	for _, tc := range tests {
+		g, err := MakeGroups(tc.f, tc.t)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("MakeGroups(%d,%d): expected error", tc.f, tc.t)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("MakeGroups(%d,%d): %v", tc.f, tc.t, err)
+		}
+		if g.N != tc.wantN {
+			t.Errorf("MakeGroups(%d,%d): n=%d, want %d", tc.f, tc.t, g.N, tc.wantN)
+		}
+		total := 1 + len(g.P1) + len(g.P2) + len(g.P3) + len(g.P4) + len(g.P5)
+		if total != g.N {
+			t.Errorf("groups cover %d of %d processes", total, g.N)
+		}
+		if len(g.P1) != tc.t || len(g.P5) != tc.t {
+			t.Errorf("|P1|=%d |P5|=%d, want t=%d", len(g.P1), len(g.P5), tc.t)
+		}
+		if len(g.P2) != tc.f-1 || len(g.P3) != tc.f-1 || len(g.P4) != tc.f-1 {
+			t.Errorf("middle groups sized %d/%d/%d, want f-1=%d",
+				len(g.P2), len(g.P3), len(g.P4), tc.f-1)
+		}
+	}
+}
+
+func TestConstructionExhibitsDisagreement(t *testing.T) {
+	for _, p := range []struct{ f, t int }{{2, 2}, {3, 2}, {3, 3}} {
+		res, err := RunConstruction(p.f, p.t, sim.DefaultDelta)
+		if err != nil {
+			t.Fatalf("f=%d t=%d: %v", p.f, p.t, err)
+		}
+		// ρ1 and ρ5 are T-faulty two-step executions: unanimous decision in
+		// exactly two message delays.
+		for _, idx := range []int{0, 4} {
+			rep := res.Reports[idx]
+			if rep.Violation != "" {
+				t.Fatalf("f=%d t=%d %s: unexpected violation: %s", p.f, p.t, rep.Name, rep.Violation)
+			}
+			for pid, steps := range rep.Steps {
+				if steps != 2 {
+					t.Fatalf("f=%d t=%d %s: %s decided in %d steps, want 2", p.f, p.t, rep.Name, pid, steps)
+				}
+			}
+		}
+		want1, want0 := types.Value("1"), types.Value("0")
+		for pid, v := range res.Reports[0].Decisions {
+			if !v.Equal(want1) {
+				t.Fatalf("rho1: %s decided %s, want 1", pid, v)
+			}
+		}
+		for pid, v := range res.Reports[4].Decisions {
+			if !v.Equal(want0) {
+				t.Fatalf("rho5: %s decided %s, want 0", pid, v)
+			}
+		}
+		// Theorem 4.5: at n = 3f+2t−2 the adversary forces disagreement in
+		// at least one of the middle executions.
+		if len(res.Violations) == 0 {
+			t.Fatalf("f=%d t=%d: no disagreement exhibited at n=3f+2t-2", p.f, p.t)
+		}
+		// The indistinguishability chain of Figure 3: in ρ2, group P3 is in
+		// the same state as in ρ1 and decides 1; in ρ4 it mirrors ρ5 and
+		// decides 0 — both within two message delays, in silence.
+		g := res.Groups
+		for _, pid := range g.P3 {
+			if v := res.Reports[1].Decisions[pid]; !v.Equal(want1) {
+				t.Fatalf("rho2: P3 member %s decided %s, want 1 (as in rho1)", pid, v)
+			}
+			if s := res.Reports[1].Steps[pid]; s != 2 {
+				t.Fatalf("rho2: P3 member %s took %d steps, want 2", pid, s)
+			}
+			if v := res.Reports[3].Decisions[pid]; !v.Equal(want0) {
+				t.Fatalf("rho4: P3 member %s decided %s, want 0 (as in rho5)", pid, v)
+			}
+			if s := res.Reports[3].Steps[pid]; s != 2 {
+				t.Fatalf("rho4: P3 member %s took %d steps, want 2", pid, s)
+			}
+		}
+	}
+}
+
+func TestTightConfigurationResistsSameAttack(t *testing.T) {
+	// One process above the strawman's n, the paper's protocol survives the
+	// analogous adversary for every split.
+	for _, p := range []struct{ f, t int }{{2, 2}, {3, 2}} {
+		rep, err := RunTightConfiguration(p.f, p.t, sim.DefaultDelta, 42)
+		if err != nil {
+			t.Fatalf("f=%d t=%d: %v", p.f, p.t, err)
+		}
+		if rep.Violations != 0 {
+			t.Fatalf("f=%d t=%d: %d consistency violations at n=3f+2t-1", p.f, p.t, rep.Violations)
+		}
+		if rep.Undecided != 0 {
+			t.Fatalf("f=%d t=%d: %d undecided runs at n=3f+2t-1", p.f, p.t, rep.Undecided)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package msg
+
+import (
+	"fmt"
+
+	"repro/internal/sigcrypto"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Encode serializes a message into its canonical wire form: one kind byte
+// followed by the message fields.
+func Encode(m Message) []byte {
+	w := wire.NewWriter(128)
+	w.Uint8(uint8(m.Kind()))
+	switch t := m.(type) {
+	case *Propose:
+		w.Uvarint(uint64(t.View))
+		w.BytesField(t.X)
+		encodeProgressCertPtr(w, t.Cert)
+		encodeSig(w, t.Tau)
+	case *Ack:
+		w.Uvarint(uint64(t.View))
+		w.BytesField(t.X)
+	case *AckSig:
+		w.Uvarint(uint64(t.View))
+		w.BytesField(t.X)
+		encodeSig(w, t.Phi)
+	case *Vote:
+		w.Uvarint(uint64(t.View))
+		t.SV.encode(w)
+	case *CertRequest:
+		w.Uvarint(uint64(t.View))
+		w.BytesField(t.X)
+		w.Uvarint(uint64(len(t.Votes)))
+		for _, sv := range t.Votes {
+			sv.encode(w)
+		}
+	case *CertAck:
+		w.Uvarint(uint64(t.View))
+		w.BytesField(t.X)
+		encodeSig(w, t.Phi)
+	case *Commit:
+		w.Uvarint(uint64(t.View))
+		w.BytesField(t.X)
+		t.CC.encode(w)
+	case *Wish:
+		w.Uvarint(uint64(t.View))
+	case *Raw:
+		w.Uvarint(uint64(t.View))
+		w.Uint8(t.Proto)
+		w.Uint8(t.Sub)
+		w.BytesField(t.X)
+		w.BytesField(t.Payload)
+	default:
+		// Unreachable for messages defined in this package; a zero-length
+		// buffer fails decoding loudly on the other side.
+		return nil
+	}
+	return w.Bytes()
+}
+
+// Decode parses a message from its canonical wire form. Decoding is strict:
+// trailing bytes, truncated fields, and over-limit lengths are errors, so a
+// Byzantine sender cannot craft two byte strings decoding to one message.
+func Decode(buf []byte) (Message, error) {
+	if len(buf) > wire.MaxBytes {
+		return nil, wire.ErrOverflow
+	}
+	r := wire.NewReader(buf)
+	kind := Kind(r.Uint8())
+	var m Message
+	switch kind {
+	case KindPropose:
+		t := &Propose{}
+		t.View = types.View(r.Uvarint())
+		t.X = r.BytesField()
+		t.Cert = decodeProgressCertPtr(r)
+		t.Tau = decodeSig(r)
+		m = t
+	case KindAck:
+		t := &Ack{}
+		t.View = types.View(r.Uvarint())
+		t.X = r.BytesField()
+		m = t
+	case KindAckSig:
+		t := &AckSig{}
+		t.View = types.View(r.Uvarint())
+		t.X = r.BytesField()
+		t.Phi = decodeSig(r)
+		m = t
+	case KindVote:
+		t := &Vote{}
+		t.View = types.View(r.Uvarint())
+		t.SV = decodeSignedVote(r)
+		m = t
+	case KindCertRequest:
+		t := &CertRequest{}
+		t.View = types.View(r.Uvarint())
+		t.X = r.BytesField()
+		n := r.SliceLen()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		t.Votes = make([]SignedVote, 0, n)
+		for i := 0; i < n; i++ {
+			t.Votes = append(t.Votes, decodeSignedVote(r))
+		}
+		m = t
+	case KindCertAck:
+		t := &CertAck{}
+		t.View = types.View(r.Uvarint())
+		t.X = r.BytesField()
+		t.Phi = decodeSig(r)
+		m = t
+	case KindCommit:
+		t := &Commit{}
+		t.View = types.View(r.Uvarint())
+		t.X = r.BytesField()
+		t.CC = decodeCommitCert(r)
+		m = t
+	case KindWish:
+		t := &Wish{}
+		t.View = types.View(r.Uvarint())
+		m = t
+	case KindRaw:
+		t := &Raw{}
+		t.View = types.View(r.Uvarint())
+		t.Proto = r.Uint8()
+		t.Sub = r.Uint8()
+		t.X = r.BytesField()
+		t.Payload = r.BytesField()
+		m = t
+	default:
+		return nil, fmt.Errorf("msg: unknown kind %d", uint8(kind))
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", kind, err)
+	}
+	return m, nil
+}
+
+func encodeSig(w *wire.Writer, s sigcrypto.Signature) {
+	w.Int32(int32(s.Signer))
+	w.BytesField(s.Bytes)
+}
+
+func decodeSig(r *wire.Reader) sigcrypto.Signature {
+	var s sigcrypto.Signature
+	s.Signer = types.ProcessID(r.Int32())
+	s.Bytes = r.BytesField()
+	return s
+}

@@ -1,0 +1,36 @@
+package msg
+
+import "repro/internal/types"
+
+// Protocol identifiers for Raw envelopes.
+const (
+	// ProtoPBFT tags messages of the PBFT baseline (internal/baseline/pbft).
+	ProtoPBFT uint8 = 1
+	// ProtoFaB tags messages of the FaB Paxos baseline
+	// (internal/baseline/fab).
+	ProtoFaB uint8 = 2
+	// ProtoStrawman tags messages of the lower-bound strawman protocol
+	// (internal/lowerbound).
+	ProtoStrawman uint8 = 3
+)
+
+// Raw is a generic envelope for protocols other than the paper's (the PBFT
+// and FaB baselines and the lower-bound strawman). It lets every protocol
+// share one simulator and wire format: Proto identifies the protocol, Sub
+// the message type within it, and Payload carries protocol-specific fields
+// encoded by the owner.
+type Raw struct {
+	View    types.View
+	Proto   uint8
+	Sub     uint8
+	X       types.Value
+	Payload []byte
+}
+
+// Kind implements Message.
+func (m *Raw) Kind() Kind { return KindRaw }
+
+// InView implements Message.
+func (m *Raw) InView() types.View { return m.View }
+
+var _ Message = (*Raw)(nil)

@@ -1,0 +1,161 @@
+// Package node is the real-time runtime: it drives a deterministic protocol
+// state machine (core.Machine) over a real transport, translating wall-clock
+// time into the machine's virtual time and TimerActions into a timer
+// goroutine. One Runner hosts one consensus instance; the SMR layer
+// (internal/smr) multiplexes many instances over one transport.
+package node
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/msg"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// DecideFunc is invoked (once) when the machine decides.
+type DecideFunc func(d types.Decision)
+
+// Runner hosts one Machine on one Transport.
+type Runner struct {
+	machine core.Machine
+	tr      transport.Transport
+	decide  DecideFunc
+	start   time.Time
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	timer   *time.Timer
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewRunner wires machine to tr. decide may be nil.
+func NewRunner(machine core.Machine, tr transport.Transport, decide DecideFunc) *Runner {
+	return &Runner{
+		machine: machine,
+		tr:      tr,
+		decide:  decide,
+		stop:    make(chan struct{}),
+	}
+}
+
+// Start installs the delivery handler, starts the transport, and
+// initializes the machine.
+func (r *Runner) Start() error {
+	r.mu.Lock()
+	if r.started || r.closed {
+		r.mu.Unlock()
+		return transport.ErrClosed
+	}
+	r.started = true
+	r.start = time.Now()
+	r.mu.Unlock()
+
+	r.tr.SetHandler(r.onPayload)
+	if err := r.tr.Start(); err != nil {
+		return err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.apply(r.machine.Init(r.now()))
+	return nil
+}
+
+// Close stops the runner; the transport is closed as well.
+func (r *Runner) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+	close(r.stop)
+	r.mu.Unlock()
+	err := r.tr.Close()
+	r.wg.Wait()
+	return err
+}
+
+// now converts wall-clock time to machine time (duration since Start).
+func (r *Runner) now() core.Time {
+	return core.Time(time.Since(r.start))
+}
+
+// onPayload decodes and delivers one payload under the machine lock.
+func (r *Runner) onPayload(from types.ProcessID, payload []byte) {
+	m, err := msg.Decode(payload)
+	if err != nil {
+		return // malformed: drop, as the model prescribes
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.apply(r.machine.Deliver(from, m, r.now()))
+}
+
+// onTimer fires the machine's timer.
+func (r *Runner) onTimer() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.apply(r.machine.Tick(r.now()))
+}
+
+// apply executes machine actions; the caller holds r.mu.
+func (r *Runner) apply(actions []core.Action) {
+	for _, a := range actions {
+		switch act := a.(type) {
+		case core.SendAction:
+			payload := msg.Encode(act.Msg)
+			if payload == nil {
+				continue
+			}
+			_ = r.tr.Send(act.To, payload)
+		case core.BroadcastAction:
+			payload := msg.Encode(act.Msg)
+			if payload == nil {
+				continue
+			}
+			_ = r.tr.Broadcast(payload)
+		case core.TimerAction:
+			r.armTimer(act.Deadline)
+		case core.DecideAction:
+			if r.decide != nil {
+				// Deliver the callback without holding the lock.
+				d := act.Decision
+				cb := r.decide
+				r.wg.Add(1)
+				go func() {
+					defer r.wg.Done()
+					cb(d)
+				}()
+			}
+		case core.EnterViewAction:
+			// Observability only.
+		}
+	}
+}
+
+// armTimer (re)schedules the single machine timer; the caller holds r.mu.
+func (r *Runner) armTimer(deadline core.Time) {
+	delay := time.Duration(deadline) - time.Since(r.start)
+	if delay < 0 {
+		delay = 0
+	}
+	if r.timer != nil {
+		r.timer.Stop()
+	}
+	r.timer = time.AfterFunc(delay, r.onTimer)
+}

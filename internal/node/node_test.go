@@ -1,0 +1,115 @@
+package node
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// runCluster runs one consensus instance over the given transports and
+// returns the decisions of all replicas.
+func runCluster(t *testing.T, cfg types.Config, trs []transport.Transport, scheme sigcrypto.Scheme) []types.Decision {
+	t.Helper()
+	var (
+		mu        sync.Mutex
+		decisions = make(map[types.ProcessID]types.Decision)
+		decidedCh = make(chan struct{}, cfg.N)
+	)
+	runners := make([]*Runner, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		pid := types.ProcessID(i)
+		proc, err := core.NewProcess(cfg, pid, scheme.Signer(pid), scheme.Verifier(),
+			types.Value("real-value"), 100*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runners[i] = NewRunner(proc, trs[i], func(d types.Decision) {
+			mu.Lock()
+			decisions[pid] = d
+			mu.Unlock()
+			decidedCh <- struct{}{}
+		})
+	}
+	for _, r := range runners {
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, r := range runners {
+			_ = r.Close()
+		}
+	}()
+	deadline := time.After(30 * time.Second)
+	for done := 0; done < cfg.N; {
+		select {
+		case <-decidedCh:
+			done++
+		case <-deadline:
+			t.Fatalf("timeout: %d of %d replicas decided", done, cfg.N)
+		}
+	}
+	out := make([]types.Decision, cfg.N)
+	mu.Lock()
+	defer mu.Unlock()
+	for pid, d := range decisions {
+		out[pid] = d
+	}
+	return out
+}
+
+func TestRunnerOverMemNetwork(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	scheme := sigcrypto.NewHMAC(cfg.N, 11)
+	net := transport.NewMemNetwork(cfg.N, 0)
+	defer func() { _ = net.Close() }()
+	trs := make([]transport.Transport, cfg.N)
+	for i := range trs {
+		trs[i] = net.Transport(types.ProcessID(i))
+	}
+	decisions := runCluster(t, cfg, trs, scheme)
+	for i, d := range decisions {
+		if !d.Value.Equal(types.Value("real-value")) {
+			t.Fatalf("replica %d decided %s", i, d.Value)
+		}
+	}
+}
+
+func TestRunnerOverTCPWithEd25519(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	scheme := sigcrypto.NewEd25519Deterministic(cfg.N, 12)
+	tcp := make([]*transport.TCPTransport, cfg.N)
+	addrs := make([]string, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		pid := types.ProcessID(i)
+		tr, err := transport.NewTCP(transport.TCPConfig{
+			Self: pid, N: cfg.N, ListenAddr: "127.0.0.1:0",
+			Signer: scheme.Signer(pid), Verifier: scheme.Verifier(),
+			DialRetry: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcp[i] = tr
+		addrs[i] = tr.Addr()
+	}
+	trs := make([]transport.Transport, cfg.N)
+	for i, tr := range tcp {
+		if err := tr.SetPeers(addrs); err != nil {
+			t.Fatal(err)
+		}
+		trs[i] = tr
+	}
+	decisions := runCluster(t, cfg, trs, scheme)
+	ref := decisions[0]
+	for i, d := range decisions {
+		if !d.Value.Equal(ref.Value) {
+			t.Fatalf("replica %d decided %s, replica 0 decided %s", i, d.Value, ref.Value)
+		}
+	}
+}

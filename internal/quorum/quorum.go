@@ -1,0 +1,148 @@
+// Package quorum centralizes every threshold used by the protocol and the
+// quorum-intersection properties (QI1–QI3 of Section 3.3, and the slow-path
+// intersections of Appendix A) that its safety proof rests on.
+//
+// Keeping the arithmetic in one place lets the rest of the codebase ask for
+// quorums by name (VoteQuorum, FastQuorum, ...) instead of scattering
+// expressions like ⌈(n+f+1)/2⌉ across packages, and lets the test suite
+// property-check the intersections for every admissible (n, f, t).
+package quorum
+
+import "repro/internal/types"
+
+// Thresholds bundles all quorum sizes for one protocol configuration.
+type Thresholds struct {
+	cfg types.Config
+}
+
+// New derives the thresholds for a configuration. The configuration is
+// assumed to be valid (see types.Config.Validate).
+func New(cfg types.Config) Thresholds {
+	return Thresholds{cfg: cfg}
+}
+
+// Config returns the underlying configuration.
+func (t Thresholds) Config() types.Config { return t.cfg }
+
+// VoteQuorum is n − f: the number of valid votes a new leader collects
+// during the view change (Section 3.2), and the number of acks required to
+// decide in the vanilla protocol.
+func (t Thresholds) VoteQuorum() int { return t.cfg.N - t.cfg.F }
+
+// FastQuorum is n − t: the number of matching ack messages that allow a
+// process to decide through the fast path of the generalized protocol
+// (Appendix A.1). For the vanilla protocol (t = f) it coincides with
+// VoteQuorum.
+func (t Thresholds) FastQuorum() int { return t.cfg.N - t.cfg.T }
+
+// CommitQuorum is ⌈(n+f+1)/2⌉: the number of ack signatures that form a
+// commit certificate, and the number of Commit messages required to decide
+// through the slow path (Appendix A.1).
+func (t Thresholds) CommitQuorum() int { return (t.cfg.N + t.cfg.F + 2) / 2 }
+
+// CertRequestSet is 2f + 1: the number of processes the new leader contacts
+// to assemble a progress certificate (Section 3.2).
+func (t Thresholds) CertRequestSet() int { return 2*t.cfg.F + 1 }
+
+// CertQuorum is f + 1: the number of CertAck signatures that constitute a
+// progress certificate (Section 3.2). At least one of f+1 signers is
+// correct, so at least one correct process verified the leader's selection.
+func (t Thresholds) CertQuorum() int { return t.cfg.F + 1 }
+
+// SelectionQuorum is the number of matching votes (from processes other than
+// a detected equivocator) that force the selection algorithm to adopt a
+// value: 2f in the vanilla protocol (Section 3.2, case 1), f + t in the
+// generalized protocol (Appendix A.2, case 2). The two coincide when t = f.
+func (t Thresholds) SelectionQuorum() int { return t.cfg.F + t.cfg.T }
+
+// ByzantineMax is f, the resilience bound.
+func (t Thresholds) ByzantineMax() int { return t.cfg.F }
+
+// FastFaultMax is t, the fast-path fault threshold.
+func (t Thresholds) FastFaultMax() int { return t.cfg.T }
+
+// QI1 reports whether the simple quorum intersection property holds: any two
+// sets of n−f processes intersect in at least one correct process. It is
+// equivalent to n ≥ 3f + 1.
+func (t Thresholds) QI1() bool {
+	n, f := t.cfg.N, t.cfg.F
+	return 2*(n-f)-n >= f+1
+}
+
+// QI2 reports whether equivocation quorum intersection #1 holds: a set of
+// n−f processes and a set of n−f processes containing at most f−1 Byzantine
+// processes intersect in at least 2f correct processes. It is equivalent to
+// n ≥ 5f − 1. The generalized analogue (GQI2) replaces 2f by f + t.
+func (t Thresholds) QI2() bool {
+	n, f := t.cfg.N, t.cfg.F
+	return 2*(n-f)-n >= (f-1)+2*f
+}
+
+// GQI2 is the generalized form of QI2 used by Appendix A: any set of n−f
+// voters intersects any set of n−t ack-senders in at least (f−1) + (f+t)
+// processes, hence in at least f+t correct processes when the view-w leader
+// is provably Byzantine. It is equivalent to n ≥ 3f + 2t − 1.
+func (t Thresholds) GQI2() bool {
+	n, f, tt := t.cfg.N, t.cfg.F, t.cfg.T
+	return (n-f)+(n-tt)-n >= (f-1)+(f+tt)
+}
+
+// QI3 reports whether equivocation quorum intersection #2 holds: a set of
+// n−f processes and a set of 2f processes with at most f−1 Byzantine members
+// intersect in at least one correct process. It is equivalent to n ≥ 2f.
+func (t Thresholds) QI3() bool {
+	n, f := t.cfg.N, t.cfg.F
+	return (n-f)+2*f-n >= (f-1)+1
+}
+
+// GQI3 is the generalized form of QI3: a set of n−t ack-senders and a set of
+// f+t voters with at most f−1 Byzantine members intersect in at least one
+// correct process. It holds whenever n ≤ 2f + 2t... more precisely it needs
+// (n−t) + (f+t) − n ≥ f, i.e. it always holds with equality; the paper uses
+// exactly this margin in Appendix A.3 case (2).
+func (t Thresholds) GQI3() bool {
+	n, f, tt := t.cfg.N, t.cfg.F, t.cfg.T
+	return (n-tt)+(f+tt)-n >= (f-1)+1
+}
+
+// CommitCommitIntersect reports whether two commit quorums intersect in a
+// correct process, the property behind Lemma A.2 (no two commit certificates
+// for different values in one view).
+func (t Thresholds) CommitCommitIntersect() bool {
+	n, f := t.cfg.N, t.cfg.F
+	return 2*t.CommitQuorum()-n >= f+1
+}
+
+// CommitFastIntersect reports whether a commit quorum and a fast quorum
+// intersect in a correct process, the property behind the second half of
+// Lemma A.2 (a commit certificate blocks fast decisions for other values).
+func (t Thresholds) CommitFastIntersect() bool {
+	n, f := t.cfg.N, t.cfg.F
+	return t.CommitQuorum()+t.FastQuorum()-n >= f+1
+}
+
+// FastFastIntersect reports whether two fast quorums intersect in a correct
+// process (Corollary A.3: two values cannot both be decided fast in one
+// view). Requires (n−t) + (n−t) − n ≥ f + 1.
+func (t Thresholds) FastFastIntersect() bool {
+	n, f, tt := t.cfg.N, t.cfg.F, t.cfg.T
+	return 2*(n-tt)-n >= f+1
+}
+
+// CommitVoteIntersect reports whether a commit quorum intersects a vote
+// quorum (n−f) in a correct process — used in Appendix A.3 case (3): a slow
+// decision in view w implies a commit certificate appears among n−f votes.
+func (t Thresholds) CommitVoteIntersect() bool {
+	n, f := t.cfg.N, t.cfg.F
+	return t.CommitQuorum()+t.VoteQuorum()-n >= f+1
+}
+
+// AllSafetyProperties reports whether every intersection property required
+// by the correctness proof holds for this configuration. A valid
+// configuration (types.Config.Validate) always satisfies them; the test
+// suite checks this exhaustively and by property testing.
+func (t Thresholds) AllSafetyProperties() bool {
+	return t.QI1() && t.GQI2() && t.QI3() && t.GQI3() &&
+		t.CommitCommitIntersect() && t.CommitFastIntersect() &&
+		t.FastFastIntersect() && t.CommitVoteIntersect()
+}

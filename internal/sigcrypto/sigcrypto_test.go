@@ -1,0 +1,180 @@
+package sigcrypto
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+// schemes under test share the behaviour contract.
+func schemes(t *testing.T, n int) map[string]Scheme {
+	t.Helper()
+	ed, err := NewEd25519(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Scheme{
+		"ed25519":     ed,
+		"ed25519-det": NewEd25519Deterministic(n, 42),
+		"hmac":        NewHMAC(n, 42),
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	for name, s := range schemes(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			msg := []byte("message")
+			ver := s.Verifier()
+			for p := types.ProcessID(0); int(p) < s.N(); p++ {
+				sig := s.Signer(p).Sign(msg)
+				if sig.Signer != p {
+					t.Fatalf("signer id %s, want %s", sig.Signer, p)
+				}
+				if !ver.Verify(msg, sig) {
+					t.Fatalf("%s: valid signature rejected", p)
+				}
+				if ver.Verify([]byte("other"), sig) {
+					t.Fatalf("%s: signature verified for wrong message", p)
+				}
+				// A signature claimed by another process must fail.
+				forged := sig
+				forged.Signer = (p + 1) % types.ProcessID(s.N())
+				if ver.Verify(msg, forged) {
+					t.Fatalf("%s: signature transferred between identities", p)
+				}
+			}
+			// Out-of-range signer.
+			bad := Signature{Signer: 99, Bytes: []byte("x")}
+			if ver.Verify(msg, bad) {
+				t.Fatal("out-of-range signer accepted")
+			}
+		})
+	}
+}
+
+func TestDeterministicSchemesReproduce(t *testing.T) {
+	a := NewHMAC(3, 7)
+	b := NewHMAC(3, 7)
+	sigA := a.Signer(1).Sign([]byte("m"))
+	sigB := b.Signer(1).Sign([]byte("m"))
+	if string(sigA.Bytes) != string(sigB.Bytes) {
+		t.Fatal("same seed must produce the same HMAC signatures")
+	}
+	c := NewHMAC(3, 8)
+	sigC := c.Signer(1).Sign([]byte("m"))
+	if string(sigA.Bytes) == string(sigC.Bytes) {
+		t.Fatal("different seeds must differ")
+	}
+	edA := NewEd25519Deterministic(3, 7)
+	edB := NewEd25519Deterministic(3, 7)
+	if string(edA.Signer(0).Sign([]byte("m")).Bytes) != string(edB.Signer(0).Sign([]byte("m")).Bytes) {
+		t.Fatal("deterministic ed25519 must reproduce")
+	}
+}
+
+func TestHMACVerifyProperty(t *testing.T) {
+	s := NewHMAC(4, 1)
+	ver := s.Verifier()
+	if err := quick.Check(func(msg []byte, who uint8) bool {
+		p := types.ProcessID(who % 4)
+		sig := s.Signer(p).Sign(msg)
+		if !ver.Verify(msg, sig) {
+			return false
+		}
+		// Flipping any message bit must invalidate (check first byte).
+		if len(msg) > 0 {
+			mutated := append([]byte{msg[0] ^ 1}, msg[1:]...)
+			if string(mutated) != string(msg) && ver.Verify(mutated, sig) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignatureClonePreservesNil(t *testing.T) {
+	var s Signature
+	c := s.Clone()
+	if c.Bytes != nil {
+		t.Fatal("nil signature bytes must stay nil after clone")
+	}
+	s = Signature{Signer: 1, Bytes: []byte{1, 2}}
+	c = s.Clone()
+	c.Bytes[0] = 9
+	if s.Bytes[0] == 9 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewHMAC(4, 3)
+	ver := s.Verifier()
+	msg := []byte("digest")
+	set := NewSet(msg)
+
+	if !set.Add(ver, s.Signer(0).Sign(msg)) {
+		t.Fatal("first signature rejected")
+	}
+	if set.Add(ver, s.Signer(0).Sign(msg)) {
+		t.Fatal("duplicate signer accepted")
+	}
+	if set.Add(ver, s.Signer(1).Sign([]byte("wrong"))) {
+		t.Fatal("signature over wrong message accepted")
+	}
+	if !set.Add(ver, s.Signer(1).Sign(msg)) {
+		t.Fatal("second signer rejected")
+	}
+	if set.Len() != 2 {
+		t.Fatalf("len=%d want 2", set.Len())
+	}
+	sigs := set.Signatures()
+	if len(sigs) != 2 {
+		t.Fatalf("signatures()=%d want 2", len(sigs))
+	}
+	// Mutating the returned slice must not affect the set.
+	sigs[0].Bytes[0] ^= 1
+	if !VerifyDistinct(ver, msg, set.Signatures(), 2) {
+		t.Fatal("set contaminated by caller mutation")
+	}
+}
+
+func TestVerifyDistinct(t *testing.T) {
+	s := NewHMAC(5, 4)
+	ver := s.Verifier()
+	msg := []byte("digest")
+	sigs := []Signature{
+		s.Signer(0).Sign(msg),
+		s.Signer(0).Sign(msg), // duplicate
+		s.Signer(1).Sign(msg),
+		s.Signer(2).Sign([]byte("wrong")),
+		s.Signer(3).Sign(msg),
+	}
+	if !VerifyDistinct(ver, msg, sigs, 3) {
+		t.Fatal("three distinct valid signatures rejected")
+	}
+	if VerifyDistinct(ver, msg, sigs, 4) {
+		t.Fatal("only 3 distinct valid signatures, quorum 4 accepted")
+	}
+	if VerifyDistinct(ver, msg, nil, 1) {
+		t.Fatal("empty set accepted")
+	}
+	if !VerifyDistinct(ver, msg, nil, 0) {
+		t.Fatal("zero quorum must trivially hold")
+	}
+}
+
+func TestEd25519PublicKeysCopied(t *testing.T) {
+	s, err := NewEd25519(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubs := s.PublicKeys()
+	pubs[0][0] ^= 1
+	sig := s.Signer(0).Sign([]byte("m"))
+	if !s.Verifier().Verify([]byte("m"), sig) {
+		t.Fatal("mutating returned public keys must not corrupt the scheme")
+	}
+}

@@ -1,0 +1,394 @@
+// Package sim is the deterministic discrete-event network simulator used by
+// every experiment. It models the partially synchronous system of Section
+// 2.1: reliable authenticated point-to-point channels, a message-delay bound
+// Δ that holds after GST, and up to f Byzantine processes realized as
+// arbitrary event handlers.
+//
+// Determinism is the point: events are processed in (time, sequence) order,
+// messages are round-tripped through the wire codec, and all randomness
+// comes from seeds, so a schedule that demonstrates a property (a two-step
+// decision, a view change, a lower-bound disagreement) reproduces exactly.
+// Latency is measured in Δ units — the paper's "message delays".
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/msg"
+	"repro/internal/types"
+)
+
+// DefaultDelta is the message-delay bound used when the caller passes 0.
+const DefaultDelta = 10 * time.Millisecond
+
+// Time is virtual time since the start of the execution.
+type Time = core.Time
+
+// Env gives a node the capabilities it has in the model: sending messages
+// and arming its local timer. It is only valid during the callback it is
+// passed to.
+type Env struct {
+	net  *Network
+	self types.ProcessID
+	// Now is the current virtual time.
+	Now Time
+}
+
+// Self returns the process this environment belongs to.
+func (e *Env) Self() types.ProcessID { return e.self }
+
+// Send transmits m to process to. The message is encoded and decoded
+// through the wire codec, so malformed messages vanish exactly as they
+// would on a real network.
+func (e *Env) Send(to types.ProcessID, m msg.Message) {
+	e.net.send(e.self, to, m, e.Now)
+}
+
+// Broadcast transmits m to every process except the sender.
+func (e *Env) Broadcast(m msg.Message) {
+	for p := 0; p < e.net.n; p++ {
+		if pid := types.ProcessID(p); pid != e.self {
+			e.net.send(e.self, pid, m, e.Now)
+		}
+	}
+}
+
+// SetTimer arms the node's single timer to fire at deadline (absolute
+// virtual time). Re-arming replaces the previous deadline.
+func (e *Env) SetTimer(deadline Time) {
+	e.net.setTimer(e.self, deadline)
+}
+
+// Node is a simulated process: correct nodes adapt a deterministic state
+// machine; Byzantine nodes are arbitrary handlers.
+type Node interface {
+	// OnStart runs at time 0.
+	OnStart(e *Env)
+	// OnMessage delivers one message.
+	OnMessage(from types.ProcessID, m msg.Message, e *Env)
+	// OnTimer fires when the node's timer deadline is reached.
+	OnTimer(e *Env)
+}
+
+// LatencyFunc decides the fate of one message: the delivery delay and
+// whether it is delivered at all. Implementations must be deterministic in
+// their arguments for reproducible runs. A nil LatencyFunc delivers
+// everything after exactly Δ.
+type LatencyFunc func(from, to types.ProcessID, m msg.Message, now Time) (delay Time, deliver bool)
+
+// TraceFunc observes every delivery, for experiments that need message
+// counts or sizes.
+type TraceFunc func(ev TraceEvent)
+
+// TraceEvent describes one message delivery.
+type TraceEvent struct {
+	Time  Time
+	From  types.ProcessID
+	To    types.ProcessID
+	Kind  msg.Kind
+	Bytes int
+	Msg   msg.Message
+}
+
+// Stats aggregates message counts and bytes per message kind.
+type Stats struct {
+	Messages map[msg.Kind]int
+	Bytes    map[msg.Kind]int
+}
+
+// TotalMessages returns the total number of delivered messages.
+func (s Stats) TotalMessages() int {
+	total := 0
+	for _, c := range s.Messages {
+		total += c
+	}
+	return total
+}
+
+// Network is the simulator instance.
+type Network struct {
+	n       int
+	delta   Time
+	latency LatencyFunc
+	trace   TraceFunc
+	nodes   []Node
+	queue   eventQueue
+	seq     uint64
+	now     Time
+	timers  []Time // armed deadline per node (0 = none)
+	stats   Stats
+
+	// decisions recorded through RecordDecision.
+	decisions map[types.ProcessID]decisionRecord
+	crashed   []bool
+}
+
+type decisionRecord struct {
+	d  types.Decision
+	at Time
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithDelta sets the synchronous message-delay bound Δ.
+func WithDelta(d Time) Option {
+	return func(n *Network) { n.delta = d }
+}
+
+// WithLatency installs a custom latency/drop model.
+func WithLatency(f LatencyFunc) Option {
+	return func(n *Network) { n.latency = f }
+}
+
+// WithTrace installs a delivery observer.
+func WithTrace(f TraceFunc) Option {
+	return func(n *Network) { n.trace = f }
+}
+
+// NewNetwork creates a simulator for n processes.
+func NewNetwork(n int, opts ...Option) *Network {
+	net := &Network{
+		n:         n,
+		delta:     DefaultDelta,
+		nodes:     make([]Node, n),
+		timers:    make([]Time, n),
+		decisions: make(map[types.ProcessID]decisionRecord, n),
+		crashed:   make([]bool, n),
+		stats: Stats{
+			Messages: make(map[msg.Kind]int),
+			Bytes:    make(map[msg.Kind]int),
+		},
+	}
+	for _, o := range opts {
+		o(net)
+	}
+	return net
+}
+
+// Delta returns the configured Δ.
+func (net *Network) Delta() Time { return net.delta }
+
+// Now returns the current virtual time.
+func (net *Network) Now() Time { return net.now }
+
+// Stats returns delivery statistics collected so far.
+func (net *Network) Stats() Stats { return net.stats }
+
+// SetNode installs the node for process p. Every slot must be filled before
+// Run.
+func (net *Network) SetNode(p types.ProcessID, node Node) {
+	net.nodes[p] = node
+}
+
+// Crash silences process p from time now on: pending and future events for
+// p are discarded. It models fail-stop behaviour (a special case of
+// Byzantine behaviour, Section 2.1).
+func (net *Network) Crash(p types.ProcessID) {
+	net.crashed[p] = true
+}
+
+// RecordDecision is called by node adapters when their process decides.
+func (net *Network) RecordDecision(p types.ProcessID, d types.Decision) {
+	if _, dup := net.decisions[p]; dup {
+		return
+	}
+	net.decisions[p] = decisionRecord{d: d, at: net.now}
+}
+
+// Decision returns process p's decision and the virtual time it was made.
+func (net *Network) Decision(p types.ProcessID) (types.Decision, Time, bool) {
+	rec, ok := net.decisions[p]
+	return rec.d, rec.at, ok
+}
+
+// DecisionSteps returns the decision latency of p in message delays
+// (Δ units, rounded up), the unit the paper's "two-step" refers to.
+func (net *Network) DecisionSteps(p types.ProcessID) (types.Step, bool) {
+	rec, ok := net.decisions[p]
+	if !ok {
+		return 0, false
+	}
+	steps := (rec.at + net.delta - 1) / net.delta
+	return types.Step(steps), true
+}
+
+// DecidedCount returns how many processes decided.
+func (net *Network) DecidedCount() int { return len(net.decisions) }
+
+// send enqueues a delivery according to the latency model.
+func (net *Network) send(from, to types.ProcessID, m msg.Message, now Time) {
+	if net.crashed[from] || !to.Valid(net.n) {
+		return
+	}
+	delay, deliver := net.delta, true
+	if net.latency != nil {
+		delay, deliver = net.latency(from, to, m, now)
+	}
+	if !deliver {
+		return
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	encoded := msg.Encode(m)
+	if encoded == nil {
+		return
+	}
+	net.push(event{
+		at:   now + delay,
+		kind: evDeliver,
+		to:   to,
+		from: from,
+		data: encoded,
+	})
+}
+
+// Inject schedules a raw delivery outside any node callback; adversarial
+// schedules (and the lower-bound machinery) use it to make Byzantine
+// processes send arbitrary messages at arbitrary times.
+func (net *Network) Inject(at Time, from, to types.ProcessID, m msg.Message) {
+	encoded := msg.Encode(m)
+	if encoded == nil || !to.Valid(net.n) {
+		return
+	}
+	net.push(event{at: at, kind: evDeliver, to: to, from: from, data: encoded})
+}
+
+// setTimer replaces the node's timer deadline.
+func (net *Network) setTimer(p types.ProcessID, deadline Time) {
+	net.timers[p] = deadline
+	net.push(event{at: deadline, kind: evTimer, to: p})
+}
+
+// RunResult summarizes a completed run.
+type RunResult struct {
+	// Elapsed is the virtual time at which the run stopped.
+	Elapsed Time
+	// Events is the number of events processed.
+	Events int
+}
+
+// Run processes events until the queue drains, until limit virtual time
+// passes (0 means no limit), or until stop returns true (nil means run to
+// completion). It returns a summary.
+func (net *Network) Run(limit Time, stop func() bool) (RunResult, error) {
+	for p, node := range net.nodes {
+		if node == nil {
+			return RunResult{}, fmt.Errorf("sim: process %s has no node", types.ProcessID(p))
+		}
+	}
+	events := 0
+	// Start every node at time 0.
+	for p, node := range net.nodes {
+		pid := types.ProcessID(p)
+		if net.crashed[pid] {
+			continue
+		}
+		node.OnStart(&Env{net: net, self: pid, Now: 0})
+	}
+	for net.queue.Len() > 0 {
+		ev := net.pop()
+		if limit > 0 && ev.at > limit {
+			net.now = limit
+			break
+		}
+		net.now = ev.at
+		if net.crashed[ev.to] {
+			continue
+		}
+		node := net.nodes[ev.to]
+		env := &Env{net: net, self: ev.to, Now: net.now}
+		switch ev.kind {
+		case evDeliver:
+			m, err := msg.Decode(ev.data)
+			if err != nil {
+				continue // malformed: dropped, as on a real network
+			}
+			net.stats.Messages[m.Kind()]++
+			net.stats.Bytes[m.Kind()] += len(ev.data)
+			if net.trace != nil {
+				net.trace(TraceEvent{
+					Time: net.now, From: ev.from, To: ev.to,
+					Kind: m.Kind(), Bytes: len(ev.data), Msg: m,
+				})
+			}
+			node.OnMessage(ev.from, m, env)
+		case evTimer:
+			// Only the most recent deadline fires.
+			if net.timers[ev.to] != ev.at {
+				continue
+			}
+			net.timers[ev.to] = 0
+			node.OnTimer(env)
+		}
+		events++
+		if stop != nil && stop() {
+			break
+		}
+	}
+	return RunResult{Elapsed: net.now, Events: events}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Event queue
+// ---------------------------------------------------------------------------
+
+type eventKind uint8
+
+const (
+	evDeliver eventKind = iota + 1
+	evTimer
+)
+
+type event struct {
+	at   Time
+	seq  uint64
+	kind eventKind
+	to   types.ProcessID
+	from types.ProcessID
+	data []byte
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(event)
+	if !ok {
+		return
+	}
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}
+
+func (net *Network) push(ev event) {
+	ev.seq = net.seq
+	net.seq++
+	heap.Push(&net.queue, ev)
+}
+
+func (net *Network) pop() event {
+	popped, _ := heap.Pop(&net.queue).(event)
+	return popped
+}

@@ -1,0 +1,110 @@
+package smr
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// KV command opcodes.
+const (
+	// OpSet stores a key/value pair.
+	OpSet uint8 = 1
+	// OpDel removes a key.
+	OpDel uint8 = 2
+)
+
+// KVCommand is a decoded key-value store command. Client and Seq make the
+// encoded command unique, as the SMR layer requires.
+type KVCommand struct {
+	Op     uint8
+	Client string
+	Seq    uint64
+	Key    string
+	Value  string
+}
+
+// EncodeKV serializes a key-value command into an SMR command.
+func EncodeKV(c KVCommand) Command {
+	w := wire.NewWriter(32 + len(c.Key) + len(c.Value))
+	w.Uint8(c.Op)
+	w.BytesField([]byte(c.Client))
+	w.Uvarint(c.Seq)
+	w.BytesField([]byte(c.Key))
+	w.BytesField([]byte(c.Value))
+	return Command(w.Bytes())
+}
+
+// DecodeKV parses an SMR command produced by EncodeKV.
+func DecodeKV(cmd Command) (KVCommand, error) {
+	r := wire.NewReader(cmd)
+	var c KVCommand
+	c.Op = r.Uint8()
+	c.Client = string(r.BytesField())
+	c.Seq = r.Uvarint()
+	c.Key = string(r.BytesField())
+	c.Value = string(r.BytesField())
+	if err := r.Finish(); err != nil {
+		return KVCommand{}, fmt.Errorf("kv decode: %w", err)
+	}
+	if c.Op != OpSet && c.Op != OpDel {
+		return KVCommand{}, fmt.Errorf("kv decode: unknown op %d", c.Op)
+	}
+	return c, nil
+}
+
+// KVStore is a replicated key-value map: the App of the kvstore example and
+// the SMR benchmarks. Reads are served locally; writes go through the log.
+type KVStore struct {
+	mu      sync.RWMutex
+	data    map[string]string
+	applied uint64
+}
+
+var _ App = (*KVStore)(nil)
+
+// NewKVStore returns an empty store.
+func NewKVStore() *KVStore {
+	return &KVStore{data: make(map[string]string)}
+}
+
+// Apply implements App.
+func (kv *KVStore) Apply(slot uint64, cmd Command) {
+	c, err := DecodeKV(cmd)
+	if err != nil {
+		return // unknown commands are ignored, not fatal
+	}
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.applied++
+	switch c.Op {
+	case OpSet:
+		kv.data[c.Key] = c.Value
+	case OpDel:
+		delete(kv.data, c.Key)
+	}
+	_ = slot
+}
+
+// Get returns the value for key.
+func (kv *KVStore) Get(key string) (string, bool) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	v, ok := kv.data[key]
+	return v, ok
+}
+
+// Len returns the number of keys.
+func (kv *KVStore) Len() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.data)
+}
+
+// AppliedOps returns the number of commands applied.
+func (kv *KVStore) AppliedOps() uint64 {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.applied
+}

@@ -1,0 +1,405 @@
+// Package smr builds a replicated state machine on top of the paper's
+// consensus protocol, the standard application of consensus the paper's
+// introduction motivates: agreement is reached on each next command, and
+// every replica applies the decided commands in slot order.
+//
+// Each log slot is one independent consensus instance (a core.Process); all
+// instances of a replica share one transport, with payloads tagged by slot
+// number, and one wall clock. Slots are decided and applied in order;
+// commands are deduplicated by content, so clients must make commands
+// unique (the bundled command codec includes a client identifier and
+// sequence number).
+package smr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/msg"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Command is an opaque replicated command. Commands must be unique across
+// the execution; identical bytes are applied only once.
+type Command = types.Value
+
+// ctrlSlot is the reserved envelope slot number used to forward submitted
+// commands to every replica, so that whichever process leads the next log
+// slot has the command in its queue (without forwarding, a command
+// submitted to a process that never becomes leader would starve).
+const ctrlSlot = ^uint64(0)
+
+// App consumes decided commands in slot order.
+type App interface {
+	// Apply executes one decided command. Empty commands (no-ops) are not
+	// passed to the application.
+	Apply(slot uint64, cmd Command)
+}
+
+// CommitFunc observes every decided slot (including no-ops), after the
+// application applied it.
+type CommitFunc func(slot uint64, cmd Command, d types.Decision)
+
+// Config parameterizes a Replica.
+type Config struct {
+	// Cluster is the resilience configuration (n, f, t).
+	Cluster types.Config
+	// Self is this replica's process identifier.
+	Self types.ProcessID
+	// Signer and Verifier provide the signature scheme.
+	Signer   sigcrypto.Signer
+	Verifier sigcrypto.Verifier
+	// Transport connects the replicas.
+	Transport transport.Transport
+	// App consumes decided commands. Required.
+	App App
+	// OnCommit, if set, observes decided slots.
+	OnCommit CommitFunc
+	// BaseTimeout is the view-1 timer of each consensus instance.
+	BaseTimeout time.Duration
+	// WindowSize bounds how many consensus instances may be live at once
+	// (default 8): the replica participates in slots
+	// [lowestUndecided, lowestUndecided+WindowSize).
+	WindowSize int
+	// MaxBatch is the maximum number of pending commands a leader packs
+	// into one proposal (default 1, i.e. no batching).
+	MaxBatch int
+}
+
+// Replica is one member of the replicated state machine.
+type Replica struct {
+	cfg Config
+
+	mu       sync.Mutex
+	started  bool
+	closed   bool
+	start    time.Time
+	slots    map[uint64]*slot
+	decided  map[uint64]types.Decision
+	applied  map[string]bool
+	pending  []Command
+	next     uint64 // lowest slot not yet decided locally
+	applyPtr uint64 // lowest slot not yet applied
+	wg       sync.WaitGroup
+}
+
+type slot struct {
+	proc  *core.Process
+	timer *time.Timer
+}
+
+// NewReplica builds an SMR replica.
+func NewReplica(cfg Config) (*Replica, error) {
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.App == nil {
+		return nil, errors.New("smr: nil App")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("smr: nil Transport")
+	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 8
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1
+	}
+	return &Replica{
+		cfg:     cfg,
+		slots:   make(map[uint64]*slot),
+		decided: make(map[uint64]types.Decision),
+		applied: make(map[string]bool),
+	}, nil
+}
+
+// Start begins participating.
+func (r *Replica) Start() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started || r.closed {
+		return transport.ErrClosed
+	}
+	r.started = true
+	r.start = time.Now()
+	r.cfg.Transport.SetHandler(r.onPayload)
+	return r.cfg.Transport.Start()
+}
+
+// Close stops the replica and its transport.
+func (r *Replica) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	for _, s := range r.slots {
+		if s.timer != nil {
+			s.timer.Stop()
+		}
+	}
+	r.mu.Unlock()
+	err := r.cfg.Transport.Close()
+	r.wg.Wait()
+	return err
+}
+
+// Submit queues a command for replication. The command is proposed in the
+// next available slot this replica leads or participates in; it stays
+// queued until some slot decides it.
+func (r *Replica) Submit(cmd Command) error {
+	if len(cmd) == 0 {
+		return errors.New("smr: empty command")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return transport.ErrClosed
+	}
+	if r.applied[string(cmd)] {
+		return nil // already decided and applied
+	}
+	r.addPendingLocked(cmd)
+	// Forward to every replica so the next slot's leader can propose it.
+	w := wire.NewWriter(len(cmd) + 10)
+	w.Uvarint(ctrlSlot)
+	_ = r.cfg.Transport.Broadcast(append(w.Bytes(), cmd...))
+	r.ensureSlotLocked(r.next)
+	return nil
+}
+
+// addPendingLocked queues a command unless it was applied or is queued.
+func (r *Replica) addPendingLocked(cmd Command) {
+	if r.applied[string(cmd)] {
+		return
+	}
+	for _, p := range r.pending {
+		if p.Equal(cmd) {
+			return
+		}
+	}
+	r.pending = append(r.pending, cmd.Clone())
+}
+
+// Decided returns the decision for a slot, if any.
+func (r *Replica) Decided(s uint64) (types.Decision, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.decided[s]
+	return d, ok
+}
+
+// AppliedCount returns how many slots have been applied.
+func (r *Replica) AppliedCount() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applyPtr
+}
+
+// PendingCount returns the number of commands waiting to be decided.
+func (r *Replica) PendingCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+func (r *Replica) now() core.Time { return core.Time(time.Since(r.start)) }
+
+// ensureSlotLocked creates the consensus instance for slot s if it is
+// within the live window and does not exist yet.
+func (r *Replica) ensureSlotLocked(s uint64) *slot {
+	if sl, ok := r.slots[s]; ok {
+		return sl
+	}
+	if s < r.next || s >= r.next+uint64(r.cfg.WindowSize) {
+		return nil
+	}
+	input := types.Value(nil)
+	if len(r.pending) > 0 {
+		k := len(r.pending)
+		if k > r.cfg.MaxBatch {
+			k = r.cfg.MaxBatch
+		}
+		input = EncodeBatch(r.pending[:k])
+	}
+	proc, err := core.NewProcess(r.cfg.Cluster, r.cfg.Self, r.cfg.Signer, r.cfg.Verifier, input, r.cfg.BaseTimeout)
+	if err != nil {
+		return nil // configuration was validated at construction; unreachable
+	}
+	sl := &slot{proc: proc}
+	r.slots[s] = sl
+	r.applyActions(s, sl, proc.Init(r.now()))
+	return sl
+}
+
+// onPayload decodes a slot-tagged payload and routes it to the instance.
+func (r *Replica) onPayload(from types.ProcessID, payload []byte) {
+	rd := wire.NewReader(payload)
+	s := rd.Uvarint()
+	if rd.Err() != nil {
+		return
+	}
+	inner := payload[len(payload)-rd.Remaining():]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	if s == ctrlSlot {
+		if len(inner) == 0 {
+			return
+		}
+		r.addPendingLocked(Command(inner))
+		if len(r.pending) > 0 {
+			r.ensureSlotLocked(r.next)
+		}
+		return
+	}
+	m, err := msg.Decode(inner)
+	if err != nil {
+		return
+	}
+	sl, ok := r.slots[s]
+	if !ok {
+		sl = r.ensureSlotLocked(s)
+		if sl == nil {
+			return // outside the live window
+		}
+	}
+	r.applyActions(s, sl, sl.proc.Deliver(from, m, r.now()))
+}
+
+// onTimer fires the view timer of slot s.
+func (r *Replica) onTimer(s uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	sl, ok := r.slots[s]
+	if !ok {
+		return
+	}
+	r.applyActions(s, sl, sl.proc.Tick(r.now()))
+}
+
+// applyActions executes instance actions; the caller holds r.mu.
+func (r *Replica) applyActions(s uint64, sl *slot, actions []core.Action) {
+	for _, a := range actions {
+		switch act := a.(type) {
+		case core.SendAction:
+			_ = r.cfg.Transport.Send(act.To, envelope(s, act.Msg))
+		case core.BroadcastAction:
+			_ = r.cfg.Transport.Broadcast(envelope(s, act.Msg))
+		case core.TimerAction:
+			delay := time.Duration(act.Deadline) - time.Since(r.start)
+			if delay < 0 {
+				delay = 0
+			}
+			if sl.timer != nil {
+				sl.timer.Stop()
+			}
+			slotNum := s
+			sl.timer = time.AfterFunc(delay, func() { r.onTimer(slotNum) })
+		case core.DecideAction:
+			r.onDecideLocked(s, act.Decision)
+		case core.EnterViewAction:
+			// Observability only.
+		}
+	}
+}
+
+// onDecideLocked records a slot decision, applies consecutive decided
+// slots, and starts the next slot when commands are pending.
+func (r *Replica) onDecideLocked(s uint64, d types.Decision) {
+	if _, dup := r.decided[s]; dup {
+		return
+	}
+	r.decided[s] = d
+	// Advance the lowest-undecided pointer.
+	for {
+		if _, ok := r.decided[r.next]; !ok {
+			break
+		}
+		r.next++
+	}
+	// Apply decided slots in order. Each slot value is a batch; commands
+	// already applied through an earlier slot are skipped, so resubmissions
+	// and overlapping batches stay idempotent.
+	for {
+		dd, ok := r.decided[r.applyPtr]
+		if !ok {
+			break
+		}
+		if cmds, err := DecodeBatch(dd.Value); err == nil {
+			for _, cmd := range cmds {
+				if len(cmd) == 0 {
+					continue
+				}
+				r.dropPending(cmd)
+				if r.applied[string(cmd)] {
+					continue
+				}
+				r.applied[string(cmd)] = true
+				r.cfg.App.Apply(r.applyPtr, cmd.Clone())
+			}
+		}
+		if r.cfg.OnCommit != nil {
+			slotNum, cb := r.applyPtr, r.cfg.OnCommit
+			ddCopy := dd
+			r.wg.Add(1)
+			go func() {
+				defer r.wg.Done()
+				cb(slotNum, Command(ddCopy.Value), ddCopy)
+			}()
+		}
+		r.applyPtr++
+	}
+	// Garbage-collect instances far behind the live window so stragglers
+	// can still catch up on recent slots.
+	const keepDecided = 4
+	for num, sl := range r.slots {
+		if num+keepDecided < r.next {
+			if sl.timer != nil {
+				sl.timer.Stop()
+			}
+			delete(r.slots, num)
+		}
+	}
+	// Keep replicating while commands are queued.
+	if len(r.pending) > 0 {
+		r.ensureSlotLocked(r.next)
+	}
+}
+
+func (r *Replica) dropPending(cmd Command) {
+	for i, p := range r.pending {
+		if p.Equal(cmd) {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// envelope prefixes an encoded message with its slot number.
+func envelope(s uint64, m msg.Message) []byte {
+	inner := msg.Encode(m)
+	w := wire.NewWriter(len(inner) + 10)
+	w.Uvarint(s)
+	return append(w.Bytes(), inner...)
+}
+
+// String renders replica status for logs.
+func (r *Replica) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return fmt.Sprintf("smr[%s next=%d applied=%d pending=%d]",
+		r.cfg.Self, r.next, r.applyPtr, len(r.pending))
+}

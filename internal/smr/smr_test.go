@@ -1,0 +1,315 @@
+package smr
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// buildGroup wires n SMR replicas over an in-memory network.
+func buildGroup(t *testing.T, cfg types.Config, seed int64) ([]*Replica, []*KVStore, func()) {
+	t.Helper()
+	scheme := sigcrypto.NewHMAC(cfg.N, seed)
+	net := transport.NewMemNetwork(cfg.N, 0)
+	reps := make([]*Replica, cfg.N)
+	stores := make([]*KVStore, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		pid := types.ProcessID(i)
+		stores[i] = NewKVStore()
+		r, err := NewReplica(Config{
+			Cluster:     cfg,
+			Self:        pid,
+			Signer:      scheme.Signer(pid),
+			Verifier:    scheme.Verifier(),
+			Transport:   net.Transport(pid),
+			App:         stores[i],
+			BaseTimeout: 200 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = r
+	}
+	for _, r := range reps {
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cleanup := func() {
+		for _, r := range reps {
+			_ = r.Close()
+		}
+		_ = net.Close()
+	}
+	return reps, stores, cleanup
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestSMRReplicatesCommands(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	reps, stores, cleanup := buildGroup(t, cfg, 1)
+	defer cleanup()
+
+	const ops = 10
+	for i := 0; i < ops; i++ {
+		cmd := EncodeKV(KVCommand{
+			Op: OpSet, Client: "c0", Seq: uint64(i),
+			Key: fmt.Sprintf("k%d", i), Value: fmt.Sprintf("v%d", i),
+		})
+		for _, r := range reps {
+			if err := r.Submit(cmd); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		for _, st := range stores {
+			if st.AppliedOps() < ops {
+				return false
+			}
+		}
+		return true
+	}, "all replicas to apply all commands")
+
+	for i, st := range stores {
+		for k := 0; k < ops; k++ {
+			key := fmt.Sprintf("k%d", k)
+			v, ok := st.Get(key)
+			if !ok || v != fmt.Sprintf("v%d", k) {
+				t.Fatalf("replica %d: %s=%q (present=%v)", i, key, v, ok)
+			}
+		}
+	}
+	// All replicas applied identical logs: same slot count, same contents.
+	want := reps[0].AppliedCount()
+	for i, r := range reps {
+		if r.AppliedCount() != want {
+			t.Fatalf("replica %d applied %d slots, replica 0 applied %d", i, r.AppliedCount(), want)
+		}
+	}
+}
+
+func TestSMRDeduplicatesResubmittedCommands(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	reps, stores, cleanup := buildGroup(t, cfg, 2)
+	defer cleanup()
+
+	cmd := EncodeKV(KVCommand{Op: OpSet, Client: "c1", Seq: 7, Key: "x", Value: "1"})
+	for i := 0; i < 5; i++ { // submit the same command repeatedly everywhere
+		for _, r := range reps {
+			if err := r.Submit(cmd); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		for _, st := range stores {
+			if st.AppliedOps() < 1 {
+				return false
+			}
+		}
+		return true
+	}, "command application")
+	time.Sleep(100 * time.Millisecond) // let any duplicate slots drain
+	for i, st := range stores {
+		if st.AppliedOps() != 1 {
+			t.Fatalf("replica %d applied %d ops, want exactly 1", i, st.AppliedOps())
+		}
+	}
+}
+
+func TestSMRDelete(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	reps, stores, cleanup := buildGroup(t, cfg, 3)
+	defer cleanup()
+
+	set := EncodeKV(KVCommand{Op: OpSet, Client: "c", Seq: 1, Key: "k", Value: "v"})
+	del := EncodeKV(KVCommand{Op: OpDel, Client: "c", Seq: 2, Key: "k"})
+	for _, r := range reps {
+		if err := r.Submit(set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		for _, st := range stores {
+			if st.AppliedOps() < 1 {
+				return false
+			}
+		}
+		return true
+	}, "set")
+	for _, r := range reps {
+		if err := r.Submit(del); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		for _, st := range stores {
+			if st.AppliedOps() < 2 {
+				return false
+			}
+		}
+		return true
+	}, "del")
+	for i, st := range stores {
+		if _, ok := st.Get("k"); ok {
+			t.Fatalf("replica %d: key survived delete", i)
+		}
+	}
+}
+
+func TestKVCodecRoundTrip(t *testing.T) {
+	in := KVCommand{Op: OpSet, Client: "client-9", Seq: 42, Key: "key", Value: "value"}
+	out, err := DecodeKV(EncodeKV(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	if _, err := DecodeKV(Command("junk")); err == nil {
+		t.Fatal("expected decode error for junk")
+	}
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	cmds := []Command{Command("a"), Command("bb"), Command("ccc")}
+	out, err := DecodeBatch(EncodeBatch(cmds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(cmds) {
+		t.Fatalf("len=%d", len(out))
+	}
+	for i := range cmds {
+		if !out[i].Equal(cmds[i]) {
+			t.Fatalf("batch element %d mismatch", i)
+		}
+	}
+	if _, err := DecodeBatch(Command("garbage-not-a-batch-xxxxxxxx")); err == nil {
+		t.Fatal("garbage decoded as batch")
+	}
+	if _, err := DecodeBatch(nil); err == nil {
+		t.Fatal("empty value decoded as batch")
+	}
+}
+
+// buildGroupBatched is buildGroup with a batching configuration.
+func buildGroupBatched(t *testing.T, cfg types.Config, seed int64, maxBatch int) ([]*Replica, []*KVStore, func()) {
+	t.Helper()
+	scheme := sigcrypto.NewHMAC(cfg.N, seed)
+	net := transport.NewMemNetwork(cfg.N, 0)
+	reps := make([]*Replica, cfg.N)
+	stores := make([]*KVStore, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		pid := types.ProcessID(i)
+		stores[i] = NewKVStore()
+		r, err := NewReplica(Config{
+			Cluster:     cfg,
+			Self:        pid,
+			Signer:      scheme.Signer(pid),
+			Verifier:    scheme.Verifier(),
+			Transport:   net.Transport(pid),
+			App:         stores[i],
+			BaseTimeout: 200 * time.Millisecond,
+			MaxBatch:    maxBatch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = r
+	}
+	for _, r := range reps {
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reps, stores, func() {
+		for _, r := range reps {
+			_ = r.Close()
+		}
+		_ = net.Close()
+	}
+}
+
+func TestSMRBatchingAppliesAllCommandsInFewerSlots(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	reps, stores, cleanup := buildGroupBatched(t, cfg, 21, 16)
+	defer cleanup()
+
+	const ops = 32
+	for i := 0; i < ops; i++ {
+		cmd := EncodeKV(KVCommand{Op: OpSet, Client: "b", Seq: uint64(i),
+			Key: fmt.Sprintf("bk%d", i), Value: "v"})
+		if err := reps[0].Submit(cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		for _, st := range stores {
+			if st.AppliedOps() < ops {
+				return false
+			}
+		}
+		return true
+	}, "batched application")
+	// Batching must compress the log: far fewer slots than commands.
+	slots := reps[0].AppliedCount()
+	if slots >= ops {
+		t.Fatalf("batching ineffective: %d slots for %d commands", slots, ops)
+	}
+	for i, st := range stores {
+		if st.AppliedOps() != ops {
+			t.Fatalf("replica %d applied %d ops", i, st.AppliedOps())
+		}
+	}
+}
+
+func TestSMROverlappingBatchesStayIdempotent(t *testing.T) {
+	// Submit the same commands through two replicas with batching: every
+	// command must be applied exactly once even if it lands in two batches.
+	cfg := types.Generalized(1, 1)
+	reps, stores, cleanup := buildGroupBatched(t, cfg, 22, 8)
+	defer cleanup()
+
+	const ops = 8
+	for i := 0; i < ops; i++ {
+		cmd := EncodeKV(KVCommand{Op: OpSet, Client: "dup", Seq: uint64(i),
+			Key: fmt.Sprintf("dk%d", i), Value: "v"})
+		if err := reps[0].Submit(cmd); err != nil {
+			t.Fatal(err)
+		}
+		if err := reps[2].Submit(cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		for _, st := range stores {
+			if st.AppliedOps() < ops {
+				return false
+			}
+		}
+		return true
+	}, "idempotent application")
+	time.Sleep(100 * time.Millisecond)
+	for i, st := range stores {
+		if st.AppliedOps() != ops {
+			t.Fatalf("replica %d applied %d ops, want exactly %d", i, st.AppliedOps(), ops)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// MemNetwork is an in-memory implementation of n authenticated reliable
+// channels, used by tests and single-process experiments. Each endpoint
+// owns an unbounded FIFO inbox drained by one goroutine, so senders never
+// block and per-sender FIFO order is preserved.
+type MemNetwork struct {
+	n     int
+	delay time.Duration
+
+	mu        sync.Mutex
+	endpoints []*memEndpoint
+	closed    bool
+}
+
+// NewMemNetwork creates an in-memory network of n endpoints. delay, if
+// positive, is added to every delivery (a crude Δ for real-time tests).
+func NewMemNetwork(n int, delay time.Duration) *MemNetwork {
+	net := &MemNetwork{n: n, delay: delay, endpoints: make([]*memEndpoint, n)}
+	for i := 0; i < n; i++ {
+		net.endpoints[i] = newMemEndpoint(net, types.ProcessID(i))
+	}
+	return net
+}
+
+// Transport returns the endpoint of process p.
+func (m *MemNetwork) Transport(p types.ProcessID) Transport {
+	return m.endpoints[p]
+}
+
+// Close shuts down every endpoint.
+func (m *MemNetwork) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	for _, ep := range m.endpoints {
+		_ = ep.Close()
+	}
+	return nil
+}
+
+type memDelivery struct {
+	from    types.ProcessID
+	payload []byte
+}
+
+// memEndpoint implements Transport over the shared MemNetwork.
+type memEndpoint struct {
+	net  *MemNetwork
+	self types.ProcessID
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []memDelivery
+	handler Handler
+	started bool
+	closed  bool
+	done    chan struct{}
+}
+
+var _ Transport = (*memEndpoint)(nil)
+
+func newMemEndpoint(net *MemNetwork, self types.ProcessID) *memEndpoint {
+	ep := &memEndpoint{net: net, self: self, done: make(chan struct{})}
+	ep.cond = sync.NewCond(&ep.mu)
+	return ep
+}
+
+// Self implements Transport.
+func (ep *memEndpoint) Self() types.ProcessID { return ep.self }
+
+// SetHandler implements Transport.
+func (ep *memEndpoint) SetHandler(h Handler) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.handler = h
+}
+
+// Start implements Transport.
+func (ep *memEndpoint) Start() error {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return ErrClosed
+	}
+	if ep.started {
+		return nil
+	}
+	if ep.handler == nil {
+		return fmt.Errorf("memnet %s: %w", ep.self, errNoHandler)
+	}
+	ep.started = true
+	go ep.drain()
+	return nil
+}
+
+var errNoHandler = fmt.Errorf("no handler installed")
+
+// Send implements Transport.
+func (ep *memEndpoint) Send(to types.ProcessID, payload []byte) error {
+	if !to.Valid(ep.net.n) {
+		return ErrUnknownPeer
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("memnet: payload %d bytes exceeds limit", len(payload))
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	dst := ep.net.endpoints[to]
+	if ep.net.delay > 0 {
+		// Delayed delivery preserves per-sender order only approximately;
+		// good enough for tests that want a nonzero Δ.
+		time.AfterFunc(ep.net.delay, func() { dst.enqueue(ep.self, cp) })
+		return nil
+	}
+	dst.enqueue(ep.self, cp)
+	return nil
+}
+
+// Broadcast implements Transport.
+func (ep *memEndpoint) Broadcast(payload []byte) error {
+	for i := 0; i < ep.net.n; i++ {
+		if pid := types.ProcessID(i); pid != ep.self {
+			if err := ep.Send(pid, payload); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (ep *memEndpoint) enqueue(from types.ProcessID, payload []byte) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return
+	}
+	ep.queue = append(ep.queue, memDelivery{from: from, payload: payload})
+	ep.cond.Signal()
+}
+
+func (ep *memEndpoint) drain() {
+	defer close(ep.done)
+	for {
+		ep.mu.Lock()
+		for len(ep.queue) == 0 && !ep.closed {
+			ep.cond.Wait()
+		}
+		if ep.closed {
+			ep.mu.Unlock()
+			return
+		}
+		d := ep.queue[0]
+		ep.queue = ep.queue[1:]
+		h := ep.handler
+		ep.mu.Unlock()
+		h(d.from, d.payload)
+	}
+}
+
+// Close implements Transport.
+func (ep *memEndpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	started := ep.started
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
+	if started {
+		<-ep.done
+	}
+	return nil
+}

@@ -1,0 +1,419 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/sigcrypto"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// domainHello tags the handshake signature so it can never be confused with
+// a protocol signature.
+const domainHello byte = 30
+
+// helloDigest is the byte string a dialer signs to authenticate a
+// connection from `from` to `to`.
+func helloDigest(from, to types.ProcessID) []byte {
+	w := wire.NewWriter(16)
+	w.Uint8(domainHello)
+	w.Int32(int32(from))
+	w.Int32(int32(to))
+	return w.Bytes()
+}
+
+// TCPConfig parameterizes a TCP endpoint.
+type TCPConfig struct {
+	// Self is this endpoint's process identifier.
+	Self types.ProcessID
+	// N is the total number of processes.
+	N int
+	// ListenAddr is this endpoint's listen address (e.g. "127.0.0.1:0").
+	ListenAddr string
+	// Peers lists the listen addresses of every process, indexed by ID.
+	// It may be left nil at construction and provided via SetPeers before
+	// Start (useful when addresses are allocated dynamically).
+	Peers []string
+	// Signer signs the outgoing handshakes.
+	Signer sigcrypto.Signer
+	// Verifier checks incoming handshakes.
+	Verifier sigcrypto.Verifier
+	// DialRetry is the reconnect backoff (default 100ms).
+	DialRetry time.Duration
+}
+
+// TCPTransport implements Transport over TCP with a signed handshake and
+// 4-byte length-prefixed frames. Each ordered pair of processes uses one
+// connection, established by the sender; payload delivery order follows TCP
+// order per sender.
+type TCPTransport struct {
+	cfg      TCPConfig
+	listener net.Listener
+
+	mu        sync.Mutex
+	handler   Handler
+	started   bool
+	closed    bool
+	peers     []*tcpPeer
+	peerAddrs []string
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCP creates a TCP endpoint and binds its listener immediately (so that
+// callers can start endpoints in any order).
+func NewTCP(cfg TCPConfig) (*TCPTransport, error) {
+	if !cfg.Self.Valid(cfg.N) {
+		return nil, ErrUnknownPeer
+	}
+	if cfg.DialRetry <= 0 {
+		cfg.DialRetry = 100 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp listen %s: %w", cfg.ListenAddr, err)
+	}
+	t := &TCPTransport{cfg: cfg, listener: ln, conns: make(map[net.Conn]struct{})}
+	if cfg.Peers != nil {
+		t.peerAddrs = make([]string, len(cfg.Peers))
+		copy(t.peerAddrs, cfg.Peers)
+	}
+	t.peers = make([]*tcpPeer, cfg.N)
+	for i := range t.peers {
+		if types.ProcessID(i) == cfg.Self {
+			continue
+		}
+		t.peers[i] = newTCPPeer(t, types.ProcessID(i))
+	}
+	return t, nil
+}
+
+// SetPeers installs the peer address table; it must be called before Start
+// when the table was not supplied at construction.
+func (t *TCPTransport) SetPeers(addrs []string) error {
+	if len(addrs) != t.cfg.N {
+		return fmt.Errorf("tcp: %d peer addresses for n=%d", len(addrs), t.cfg.N)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.started {
+		return errors.New("tcp: SetPeers after Start")
+	}
+	t.peerAddrs = make([]string, len(addrs))
+	copy(t.peerAddrs, addrs)
+	return nil
+}
+
+// peerAddr returns the address of peer id.
+func (t *TCPTransport) peerAddr(id types.ProcessID) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) >= len(t.peerAddrs) {
+		return ""
+	}
+	return t.peerAddrs[id]
+}
+
+// Addr returns the bound listen address (useful with ":0" configs).
+func (t *TCPTransport) Addr() string { return t.listener.Addr().String() }
+
+// Self implements Transport.
+func (t *TCPTransport) Self() types.ProcessID { return t.cfg.Self }
+
+// SetHandler implements Transport.
+func (t *TCPTransport) SetHandler(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+// Start implements Transport: it launches the accept loop and the per-peer
+// senders.
+func (t *TCPTransport) Start() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if t.started {
+		return nil
+	}
+	if t.handler == nil {
+		return fmt.Errorf("tcp %s: %w", t.cfg.Self, errNoHandler)
+	}
+	if len(t.peerAddrs) != t.cfg.N {
+		return fmt.Errorf("tcp %s: peer addresses not set", t.cfg.Self)
+	}
+	t.started = true
+	t.wg.Add(1)
+	go t.acceptLoop()
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		t.wg.Add(1)
+		go p.run()
+	}
+	return nil
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(to types.ProcessID, payload []byte) error {
+	if !to.Valid(t.cfg.N) || to == t.cfg.Self {
+		return ErrUnknownPeer
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("tcp: payload %d bytes exceeds limit", len(payload))
+	}
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	t.peers[to].enqueue(payload)
+	return nil
+}
+
+// Broadcast implements Transport.
+func (t *TCPTransport) Broadcast(payload []byte) error {
+	for i := 0; i < t.cfg.N; i++ {
+		if pid := types.ProcessID(i); pid != t.cfg.Self {
+			if err := t.Send(pid, payload); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for conn := range t.conns {
+		_ = conn.Close()
+	}
+	t.mu.Unlock()
+	_ = t.listener.Close()
+	for _, p := range t.peers {
+		if p != nil {
+			p.close()
+		}
+	}
+	t.wg.Wait()
+	return nil
+}
+
+func (t *TCPTransport) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// acceptLoop authenticates inbound connections and spawns their readers.
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+// serveConn performs the handshake and dispatches frames to the handler.
+func (t *TCPTransport) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	t.conns[conn] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		_ = conn.Close()
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}()
+
+	hello, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	r := wire.NewReader(hello)
+	from := types.ProcessID(r.Int32())
+	var sig sigcrypto.Signature
+	sig.Signer = types.ProcessID(r.Int32())
+	sig.Bytes = r.BytesField()
+	if r.Finish() != nil || !from.Valid(t.cfg.N) || sig.Signer != from {
+		return
+	}
+	if !t.cfg.Verifier.Verify(helloDigest(from, t.cfg.Self), sig) {
+		return
+	}
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		h := t.handler
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		h(from, payload)
+	}
+}
+
+// tcpPeer owns the outbound connection to one peer: an unbounded FIFO
+// outbox drained by a goroutine that (re)connects as needed.
+type tcpPeer struct {
+	t    *TCPTransport
+	id   types.ProcessID
+	mu   sync.Mutex
+	cond *sync.Cond
+	box  [][]byte
+	stop bool
+}
+
+func newTCPPeer(t *TCPTransport, id types.ProcessID) *tcpPeer {
+	p := &tcpPeer{t: t, id: id}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *tcpPeer) enqueue(payload []byte) {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop {
+		return
+	}
+	p.box = append(p.box, cp)
+	p.cond.Signal()
+}
+
+func (p *tcpPeer) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stop = true
+	p.cond.Broadcast()
+}
+
+// run drains the outbox over a (re)dialed connection.
+func (p *tcpPeer) run() {
+	defer p.t.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}()
+	for {
+		p.mu.Lock()
+		for len(p.box) == 0 && !p.stop {
+			p.cond.Wait()
+		}
+		if p.stop {
+			p.mu.Unlock()
+			return
+		}
+		payload := p.box[0]
+		p.mu.Unlock()
+
+		if conn == nil {
+			conn = p.dial()
+			if conn == nil {
+				return // transport closed while dialing
+			}
+		}
+		if err := writeFrame(conn, payload); err != nil {
+			_ = conn.Close()
+			conn = nil // reconnect and retry the same payload
+			continue
+		}
+		p.mu.Lock()
+		p.box = p.box[1:]
+		p.mu.Unlock()
+	}
+}
+
+// dial connects and handshakes, retrying until success or shutdown.
+func (p *tcpPeer) dial() net.Conn {
+	for {
+		if p.t.isClosed() || p.stopped() {
+			return nil
+		}
+		conn, err := net.DialTimeout("tcp", p.t.peerAddr(p.id), time.Second)
+		if err != nil {
+			time.Sleep(p.t.cfg.DialRetry)
+			continue
+		}
+		sig := p.t.cfg.Signer.Sign(helloDigest(p.t.cfg.Self, p.id))
+		w := wire.NewWriter(96)
+		w.Int32(int32(p.t.cfg.Self))
+		w.Int32(int32(sig.Signer))
+		w.BytesField(sig.Bytes)
+		if err := writeFrame(conn, w.Bytes()); err != nil {
+			_ = conn.Close()
+			time.Sleep(p.t.cfg.DialRetry)
+			continue
+		}
+		return conn
+	}
+}
+
+func (p *tcpPeer) stopped() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stop
+}
+
+// writeFrame emits one 4-byte length-prefixed frame.
+func writeFrame(conn net.Conn, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, enforcing MaxFrame.
+func readFrame(conn net.Conn) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, errors.New("tcp: frame exceeds limit")
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

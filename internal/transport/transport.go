@@ -1,0 +1,47 @@
+// Package transport provides the real (non-simulated) network substrate:
+// authenticated reliable point-to-point channels between n processes, as the
+// model of Section 2.1 assumes. Two implementations share one interface: an
+// in-memory transport for tests and single-machine experiments, and a TCP
+// transport with a signed handshake and length-prefixed framing for a local
+// multi-replica cluster.
+package transport
+
+import (
+	"errors"
+
+	"repro/internal/types"
+)
+
+// Errors shared by transport implementations.
+var (
+	// ErrClosed is returned by operations on a closed transport.
+	ErrClosed = errors.New("transport: closed")
+	// ErrUnknownPeer is returned when the destination is out of range.
+	ErrUnknownPeer = errors.New("transport: unknown peer")
+)
+
+// MaxFrame bounds a single framed payload; larger sends are rejected.
+const MaxFrame = 8 << 20
+
+// Handler receives one payload from an authenticated sender. Handlers are
+// invoked sequentially per transport; they must not block indefinitely.
+type Handler func(from types.ProcessID, payload []byte)
+
+// Transport is one process's endpoint in the n-process network.
+type Transport interface {
+	// Self returns the process this endpoint belongs to.
+	Self() types.ProcessID
+	// Send transmits payload to one peer. Delivery is asynchronous;
+	// transports retry until the transport is closed (reliable channels).
+	Send(to types.ProcessID, payload []byte) error
+	// Broadcast transmits payload to every peer except the sender.
+	Broadcast(payload []byte) error
+	// SetHandler installs the delivery callback. It must be called before
+	// Start.
+	SetHandler(h Handler)
+	// Start begins delivering messages.
+	Start() error
+	// Close stops the endpoint and releases its resources. It is safe to
+	// call more than once.
+	Close() error
+}

@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sigcrypto"
+	"repro/internal/types"
+)
+
+// collector accumulates deliveries for assertions.
+type collector struct {
+	mu    sync.Mutex
+	msgs  []string
+	froms []types.ProcessID
+}
+
+func (c *collector) handler() Handler {
+	return func(from types.ProcessID, payload []byte) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.msgs = append(c.msgs, string(payload))
+		c.froms = append(c.froms, from)
+	}
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func (c *collector) snapshot() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.msgs))
+	copy(out, c.msgs)
+	return out
+}
+
+func waitCount(t *testing.T, c *collector, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.count() >= want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout: got %d deliveries, want %d", c.count(), want)
+}
+
+func TestMemNetworkDelivery(t *testing.T) {
+	net := NewMemNetwork(3, 0)
+	defer func() { _ = net.Close() }()
+	var cols [3]collector
+	for i := 0; i < 3; i++ {
+		tr := net.Transport(types.ProcessID(i))
+		tr.SetHandler(cols[i].handler())
+		if err := tr.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.Transport(0).Send(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Transport(0).Broadcast([]byte("all")); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, &cols[1], 2)
+	waitCount(t, &cols[2], 1)
+	if cols[0].count() != 0 {
+		t.Fatal("broadcast must not loop back to the sender")
+	}
+}
+
+func TestMemNetworkFIFOPerSender(t *testing.T) {
+	net := NewMemNetwork(2, 0)
+	defer func() { _ = net.Close() }()
+	var col collector
+	dst := net.Transport(1)
+	dst.SetHandler(col.handler())
+	if err := dst.Start(); err != nil {
+		t.Fatal(err)
+	}
+	src := net.Transport(0)
+	src.SetHandler(func(types.ProcessID, []byte) {})
+	if err := src.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const total = 200
+	for i := 0; i < total; i++ {
+		if err := src.Send(1, []byte(fmt.Sprintf("%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCount(t, &col, total)
+	for i, m := range col.snapshot() {
+		if m != fmt.Sprintf("%04d", i) {
+			t.Fatalf("out of order at %d: %s", i, m)
+		}
+	}
+}
+
+// buildTCPGroup starts n authenticated TCP endpoints on loopback.
+func buildTCPGroup(t *testing.T, n int) ([]*TCPTransport, []*collector, func()) {
+	t.Helper()
+	scheme := sigcrypto.NewHMAC(n, 99)
+	trs := make([]*TCPTransport, n)
+	cols := make([]*collector, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		pid := types.ProcessID(i)
+		tr, err := NewTCP(TCPConfig{
+			Self: pid, N: n, ListenAddr: "127.0.0.1:0",
+			Signer: scheme.Signer(pid), Verifier: scheme.Verifier(),
+			DialRetry: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[i] = tr
+		addrs[i] = tr.Addr()
+		cols[i] = &collector{}
+	}
+	for i, tr := range trs {
+		if err := tr.SetPeers(addrs); err != nil {
+			t.Fatal(err)
+		}
+		tr.SetHandler(cols[i].handler())
+		if err := tr.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cleanup := func() {
+		for _, tr := range trs {
+			_ = tr.Close()
+		}
+	}
+	return trs, cols, cleanup
+}
+
+func TestTCPDeliveryAndBroadcast(t *testing.T) {
+	trs, cols, cleanup := buildTCPGroup(t, 4)
+	defer cleanup()
+	if err := trs[0].Send(2, []byte("direct")); err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[1].Broadcast([]byte("fanout")); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, cols[2], 2)
+	waitCount(t, cols[0], 1)
+	waitCount(t, cols[3], 1)
+	if cols[1].count() != 0 {
+		t.Fatal("broadcast must not loop back")
+	}
+}
+
+func TestTCPFIFOPerSender(t *testing.T) {
+	trs, cols, cleanup := buildTCPGroup(t, 2)
+	defer cleanup()
+	const total = 500
+	for i := 0; i < total; i++ {
+		if err := trs[0].Send(1, []byte(fmt.Sprintf("%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCount(t, cols[1], total)
+	for i, m := range cols[1].snapshot() {
+		if m != fmt.Sprintf("%05d", i) {
+			t.Fatalf("out of order at %d: %s", i, m)
+		}
+	}
+}
+
+func TestTCPRejectsOversizedPayload(t *testing.T) {
+	trs, _, cleanup := buildTCPGroup(t, 2)
+	defer cleanup()
+	if err := trs[0].Send(1, make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("expected error for oversized payload")
+	}
+}
+
+func TestTCPSendAfterCloseFails(t *testing.T) {
+	trs, _, cleanup := buildTCPGroup(t, 2)
+	cleanup()
+	if err := trs[0].Send(1, []byte("late")); err == nil {
+		t.Fatal("expected error after close")
+	}
+}

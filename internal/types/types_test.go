@@ -1,0 +1,174 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLeaderRoundRobin(t *testing.T) {
+	// leader(v) = p_{(v mod n)+1} in the paper's 1-based notation, i.e.
+	// process (v mod n) with 0-based identifiers.
+	n := 4
+	for v := View(1); v <= 12; v++ {
+		want := ProcessID(uint64(v) % uint64(n))
+		if got := v.Leader(n); got != want {
+			t.Fatalf("leader(%s) with n=%d: got %s, want %s", v, n, got, want)
+		}
+	}
+	if got := View(5).Leader(0); got != NoProcess {
+		t.Fatalf("leader with n=0: got %s, want NoProcess", got)
+	}
+}
+
+func TestLeaderFairness(t *testing.T) {
+	// Every process leads infinitely often: over n consecutive views every
+	// process leads exactly once.
+	for n := 4; n <= 19; n++ {
+		seen := make(map[ProcessID]int, n)
+		for v := View(1); v <= View(n); v++ {
+			seen[v.Leader(n)]++
+		}
+		if len(seen) != n {
+			t.Fatalf("n=%d: only %d distinct leaders in %d views", n, len(seen), n)
+		}
+		for p, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: %s led %d times in one round", n, p, c)
+			}
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{N: 4, F: 1, T: 1}, true},
+		{Config{N: 3, F: 1, T: 1}, false}, // below 3f+1
+		{Config{N: 9, F: 2, T: 2}, true},  // 5f−1
+		{Config{N: 8, F: 2, T: 2}, false}, // 5f−2
+		{Config{N: 7, F: 2, T: 1}, true},  // 3f+1 with t=1
+		{Config{N: 6, F: 2, T: 1}, false},
+		{Config{N: 10, F: 2, T: 3}, false}, // t > f
+		{Config{N: 10, F: 2, T: 0}, false}, // t < 1
+		{Config{N: 10, F: 0, T: 0}, false}, // f < 1
+		{Config{N: 12, F: 3, T: 2}, true},  // 3f+2t−1 = 12
+		{Config{N: 11, F: 3, T: 2}, false},
+	}
+	for _, tc := range tests {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.cfg, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected error", tc.cfg)
+		}
+	}
+}
+
+func TestMinProcesses(t *testing.T) {
+	tests := []struct{ f, t, want int }{
+		{1, 1, 4},  // max(4, 4)
+		{2, 1, 7},  // max(8−1, 7) = 7
+		{2, 2, 9},  // 5f−1
+		{3, 1, 10}, // 3f+1 floor binds
+		{3, 2, 12},
+		{3, 3, 14},
+		{5, 5, 24},
+	}
+	for _, tc := range tests {
+		if got := MinProcesses(tc.f, tc.t); got != tc.want {
+			t.Errorf("MinProcesses(%d,%d)=%d want %d", tc.f, tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestMinProcessesProperties(t *testing.T) {
+	// Properties: n ≥ 3f+1 always; n = 5f−1 when t=f (and f ≥ 1);
+	// monotone in both arguments; exactly two below FaB's 3f+2t+1 whenever
+	// 3f+2t−1 ≥ 3f+1 (t ≥ 1 makes that always true).
+	if err := quick.Check(func(fRaw, tRaw uint8) bool {
+		f := int(fRaw%16) + 1
+		tt := int(tRaw)%f + 1
+		n := MinProcesses(f, tt)
+		if n < 3*f+1 {
+			return false
+		}
+		if tt == f && f >= 1 && n != 5*f-1 && 5*f-1 >= 3*f+1 {
+			return false
+		}
+		if MinProcesses(f, tt) > MinProcesses(f+1, tt) || MinProcesses(f, tt) > MinProcesses(f, tt)+2 {
+			return false
+		}
+		fab := 3*f + 2*tt + 1
+		return fab-n == 2 || n == 3*f+1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueEqualClone(t *testing.T) {
+	a := Value("hello")
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone must equal original")
+	}
+	b[0] = 'H'
+	if a.Equal(b) {
+		t.Fatal("clone must be independent")
+	}
+	if !Value(nil).Equal(Value(nil)) {
+		t.Fatal("nil equals nil")
+	}
+	if Value(nil).Equal(Value("x")) {
+		t.Fatal("nil must not equal non-nil")
+	}
+	if Value(nil).Clone() != nil {
+		t.Fatal("nil clone stays nil")
+	}
+}
+
+func TestValueEqualIsEquivalence(t *testing.T) {
+	if err := quick.Check(func(a, b []byte) bool {
+		x, y := Value(a), Value(b)
+		if !x.Equal(x) {
+			return false
+		}
+		return x.Equal(y) == y.Equal(x)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ProcessID(0).String() != "p1" {
+		t.Errorf("ProcessID(0) = %s, want p1", ProcessID(0))
+	}
+	if NoProcess.String() != "p?" {
+		t.Errorf("NoProcess = %s", NoProcess)
+	}
+	if View(3).String() != "v3" {
+		t.Errorf("View(3) = %s", View(3))
+	}
+	if FastPath.String() != "fast" || SlowPath.String() != "slow" {
+		t.Error("path stringers")
+	}
+	if DecidePath(9).String() == "" {
+		t.Error("unknown path must still render")
+	}
+	long := Value("0123456789abcdefghij")
+	if long.String() == "" {
+		t.Error("long value must render")
+	}
+	cfg := Config{N: 4, F: 1, T: 1}
+	if cfg.String() != "n=4 f=1 t=1" {
+		t.Errorf("config renders as %s", cfg)
+	}
+}
+
+func TestProcessIDValid(t *testing.T) {
+	if !ProcessID(0).Valid(1) || ProcessID(1).Valid(1) || NoProcess.Valid(4) {
+		t.Fatal("Valid bounds wrong")
+	}
+}

@@ -1,0 +1,140 @@
+package viewsync
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+const testBase = 10 * time.Millisecond
+
+func TestInitEntersViewOne(t *testing.T) {
+	s := New(4, 1, 0, testBase)
+	out := s.Init(0)
+	if out.Enter != 1 {
+		t.Fatalf("Enter=%v, want v1", out.Enter)
+	}
+	if out.Deadline != testBase {
+		t.Fatalf("deadline %v, want %v", out.Deadline, testBase)
+	}
+	if s.View() != 1 {
+		t.Fatalf("view %s", s.View())
+	}
+}
+
+func TestTimeoutWishesNextView(t *testing.T) {
+	s := New(4, 1, 0, testBase)
+	s.Init(0)
+	out := s.OnTimeout(testBase)
+	if out.Wish == nil || out.Wish.View != 2 {
+		t.Fatalf("expected wish for v2, got %+v", out.Wish)
+	}
+	if out.Enter != 0 {
+		t.Fatal("a lone timeout must not enter a view")
+	}
+	if out.Deadline == 0 {
+		t.Fatal("timeout must re-arm the timer")
+	}
+}
+
+func TestEntryRequiresTwoFPlusOneWishes(t *testing.T) {
+	s := New(4, 1, 0, testBase)
+	s.Init(0)
+	s.OnTimeout(testBase) // own wish for v2
+	out := s.OnWish(1, 2, testBase+1)
+	if out.Enter != 0 {
+		t.Fatal("entered with 2 wishes, need 2f+1=3")
+	}
+	out = s.OnWish(2, 2, testBase+2)
+	if out.Enter != 2 {
+		t.Fatalf("expected entry into v2, got %+v", out)
+	}
+	if s.View() != 2 {
+		t.Fatalf("view %s", s.View())
+	}
+}
+
+func TestAmplificationAtFPlusOne(t *testing.T) {
+	// f+1 wishes for a higher view make a process adopt the wish even
+	// before its own timer fires (at least one correct process wished).
+	s := New(4, 1, 0, testBase)
+	s.Init(0)
+	out := s.OnWish(1, 5, time.Millisecond)
+	if out.Wish != nil {
+		t.Fatal("amplified after a single (possibly Byzantine) wish")
+	}
+	out = s.OnWish(2, 5, 2*time.Millisecond)
+	if out.Wish == nil || out.Wish.View != 5 {
+		t.Fatalf("expected amplified wish for v5, got %+v", out.Wish)
+	}
+}
+
+func TestViewsNeverDecrease(t *testing.T) {
+	s := New(4, 1, 0, testBase)
+	s.Init(0)
+	for _, p := range []types.ProcessID{1, 2, 3} {
+		s.OnWish(p, 7, time.Millisecond)
+	}
+	if s.View() != 7 {
+		t.Fatalf("view %s, want v7", s.View())
+	}
+	// Stale wishes cannot pull the view back.
+	for _, p := range []types.ProcessID{1, 2, 3} {
+		if out := s.OnWish(p, 3, 2*time.Millisecond); out.Enter != 0 {
+			t.Fatal("entered a lower view")
+		}
+	}
+	if s.View() != 7 {
+		t.Fatalf("view decreased to %s", s.View())
+	}
+}
+
+func TestWishesAreMonotonePerSender(t *testing.T) {
+	s := New(4, 1, 0, testBase)
+	s.Init(0)
+	s.OnWish(1, 5, 0)
+	// The same sender "withdrawing" to a lower wish is ignored, so a
+	// Byzantine process cannot flap the tally.
+	s.OnWish(1, 2, 1)
+	out := s.OnWish(2, 5, 2)
+	if out.Wish == nil || out.Wish.View != 5 {
+		t.Fatal("withdrawn wish affected the tally")
+	}
+}
+
+func TestTimeoutsGrowWithViews(t *testing.T) {
+	s := New(4, 1, 0, testBase)
+	for v := types.View(1); v < 10; v++ {
+		if s.Timeout(v+1) <= s.Timeout(v) {
+			t.Fatalf("timeout not growing at %s", v)
+		}
+	}
+}
+
+func TestSkippingViews(t *testing.T) {
+	// A straggler can jump multiple views at once when the quorum is ahead.
+	s := New(4, 1, 0, testBase)
+	s.Init(0)
+	s.OnWish(1, 9, 0)
+	s.OnWish(2, 9, 1)
+	out := s.OnWish(3, 9, 2)
+	if s.View() != 9 {
+		t.Fatalf("expected jump to v9, got %s (out=%+v)", s.View(), out)
+	}
+}
+
+func TestDefaultBaseTimeout(t *testing.T) {
+	s := New(4, 1, 0, 0)
+	if s.Timeout(1) != DefaultBaseTimeout {
+		t.Fatalf("default base %v", s.Timeout(1))
+	}
+}
+
+func TestInvalidSenderIgnored(t *testing.T) {
+	s := New(4, 1, 0, testBase)
+	s.Init(0)
+	if out := s.OnWish(99, 5, 0); out.Wish != nil || out.Enter != 0 {
+		t.Fatal("out-of-range sender processed")
+	}
+}

@@ -1,0 +1,210 @@
+// Package wire implements the low-level binary encoding used by every
+// protocol message: unsigned varints, length-prefixed byte strings, and a
+// cursor-based reader with sticky error handling. The repository uses a
+// hand-rolled codec instead of encoding/gob so that signed digests are
+// byte-for-byte deterministic across processes and Go versions.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Encoding limits. Messages larger than MaxBytes are rejected both by the
+// decoder and by the TCP framing layer; this bounds the memory an adversary
+// can force a correct process to allocate.
+const (
+	// MaxBytes is the maximum size of one encoded message.
+	MaxBytes = 8 << 20
+	// MaxSlice is the maximum element count of one encoded slice.
+	MaxSlice = 1 << 16
+)
+
+// Decoding errors.
+var (
+	// ErrTruncated indicates the buffer ended before the value did.
+	ErrTruncated = errors.New("wire: truncated input")
+	// ErrOverflow indicates a length or count exceeding the codec limits.
+	ErrOverflow = errors.New("wire: length exceeds limit")
+	// ErrTrailing indicates unread bytes after a complete message.
+	ErrTrailing = errors.New("wire: trailing bytes after message")
+)
+
+// Writer appends encoded values to a byte buffer. The zero value is ready to
+// use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with the given capacity hint.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer. The buffer is owned by the writer until
+// the writer is discarded.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Uvarint appends v in unsigned varint encoding.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Uint8 appends one byte.
+func (w *Writer) Uint8(v uint8) {
+	w.buf = append(w.buf, v)
+}
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Int32 appends v as a zig-zag varint, so that small negative identifiers
+// (e.g. NoProcess) stay short.
+func (w *Writer) Int32(v int32) {
+	w.buf = binary.AppendVarint(w.buf, int64(v))
+}
+
+// BytesField appends a length-prefixed byte string.
+func (w *Writer) BytesField(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Reader decodes values from a byte buffer. After the first failure every
+// subsequent read returns the zero value and the reader's Err method reports
+// the failure; this keeps decode methods linear instead of nested.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a reader over buf. The reader does not copy buf; callers
+// that retain decoded byte fields receive copies.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// Err returns the sticky decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Finish returns the sticky error, or ErrTrailing if unread bytes remain.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Uint8 reads one byte.
+func (r *Reader) Uint8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// Bool reads a boolean encoded as one byte (values other than 0 and 1 are
+// rejected, keeping encodings canonical for signing).
+func (r *Reader) Bool() bool {
+	v := r.Uint8()
+	switch v {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail(fmt.Errorf("wire: non-canonical bool byte %d", v))
+		return false
+	}
+}
+
+// Int32 reads a zig-zag varint and checks the int32 range.
+func (r *Reader) Int32() int32 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	if v < -(1<<31) || v >= 1<<31 {
+		r.fail(ErrOverflow)
+		return 0
+	}
+	return int32(v)
+}
+
+// BytesField reads a length-prefixed byte string. The returned slice is a
+// copy and safe to retain.
+func (r *Reader) BytesField() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxBytes || n > uint64(r.Remaining()) {
+		r.fail(ErrOverflow)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return out
+}
+
+// SliceLen reads a slice length prefix, enforcing MaxSlice.
+func (r *Reader) SliceLen() int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > MaxSlice {
+		r.fail(ErrOverflow)
+		return 0
+	}
+	return int(n)
+}

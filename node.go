@@ -1,0 +1,214 @@
+package fastbft
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/smr"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// NodeConfig parameterizes a real (TCP) consensus node.
+type NodeConfig struct {
+	// Cluster is the resilience configuration.
+	Cluster Config
+	// Self is this node's process identifier.
+	Self ProcessID
+	// Keys holds the cluster identities (same Keys value on every node).
+	Keys *Keys
+	// ListenAddr is this node's listen address, e.g. "127.0.0.1:7001" or
+	// "127.0.0.1:0".
+	ListenAddr string
+	// Peers lists every node's address, indexed by process ID. It may be
+	// nil at construction and supplied with SetPeers before Start.
+	Peers []string
+	// Input is this node's proposal.
+	Input Value
+	// OnDecide is invoked once when the node decides.
+	OnDecide func(Decision)
+	// BaseTimeout is the view-1 timer (500ms if zero).
+	BaseTimeout time.Duration
+}
+
+// Node is one real consensus process: a deterministic protocol state
+// machine driven over authenticated TCP.
+type Node struct {
+	runner *node.Runner
+	tr     *transport.TCPTransport
+	proc   *core.Process
+}
+
+// NewNode builds a node and binds its listener (so its Addr is known before
+// Start).
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Keys == nil || cfg.Keys.N() != cfg.Cluster.N {
+		return nil, fmt.Errorf("fastbft: keys for %d processes required", cfg.Cluster.N)
+	}
+	if cfg.BaseTimeout <= 0 {
+		cfg.BaseTimeout = 500 * time.Millisecond
+	}
+	tr, err := transport.NewTCP(transport.TCPConfig{
+		Self:       cfg.Self,
+		N:          cfg.Cluster.N,
+		ListenAddr: cfg.ListenAddr,
+		Peers:      cfg.Peers,
+		Signer:     cfg.Keys.scheme.Signer(cfg.Self),
+		Verifier:   cfg.Keys.scheme.Verifier(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	proc, err := core.NewProcess(cfg.Cluster, cfg.Self,
+		cfg.Keys.scheme.Signer(cfg.Self), cfg.Keys.scheme.Verifier(),
+		cfg.Input, cfg.BaseTimeout)
+	if err != nil {
+		_ = tr.Close()
+		return nil, err
+	}
+	n := &Node{tr: tr, proc: proc}
+	n.runner = node.NewRunner(proc, tr, func(d types.Decision) {
+		if cfg.OnDecide != nil {
+			cfg.OnDecide(d)
+		}
+	})
+	return n, nil
+}
+
+// Addr returns the bound listen address.
+func (n *Node) Addr() string { return n.tr.Addr() }
+
+// SetPeers installs the cluster address table; call before Start when the
+// table was not passed in NodeConfig.
+func (n *Node) SetPeers(addrs []string) error { return n.tr.SetPeers(addrs) }
+
+// Start begins participating in consensus.
+func (n *Node) Start() error { return n.runner.Start() }
+
+// Close stops the node.
+func (n *Node) Close() error { return n.runner.Close() }
+
+// Decided returns the decision, if reached.
+func (n *Node) Decided() (Decision, bool) { return n.proc.Decided() }
+
+// ---------------------------------------------------------------------------
+// Replicated key-value store
+// ---------------------------------------------------------------------------
+
+// KVReplicaConfig parameterizes a replicated key-value store node.
+type KVReplicaConfig struct {
+	// Cluster is the resilience configuration.
+	Cluster Config
+	// Self is this replica's process identifier.
+	Self ProcessID
+	// Keys holds the cluster identities.
+	Keys *Keys
+	// ListenAddr is this replica's listen address.
+	ListenAddr string
+	// Peers lists every replica's address (may be set later via SetPeers).
+	Peers []string
+	// BaseTimeout is the per-slot view-1 timer (500ms if zero).
+	BaseTimeout time.Duration
+	// OnCommit, if set, observes every decided log slot.
+	OnCommit func(slot uint64, cmd []byte)
+}
+
+// KVReplica is one member of the replicated key-value store: the SMR layer
+// of internal/smr running the paper's protocol per log slot.
+type KVReplica struct {
+	tr      *transport.TCPTransport
+	replica *smr.Replica
+	store   *smr.KVStore
+	seq     atomic.Uint64
+	client  string
+}
+
+// NewKVReplica builds a replica and binds its listener.
+func NewKVReplica(cfg KVReplicaConfig) (*KVReplica, error) {
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Keys == nil || cfg.Keys.N() != cfg.Cluster.N {
+		return nil, fmt.Errorf("fastbft: keys for %d processes required", cfg.Cluster.N)
+	}
+	if cfg.BaseTimeout <= 0 {
+		cfg.BaseTimeout = 500 * time.Millisecond
+	}
+	tr, err := transport.NewTCP(transport.TCPConfig{
+		Self:       cfg.Self,
+		N:          cfg.Cluster.N,
+		ListenAddr: cfg.ListenAddr,
+		Peers:      cfg.Peers,
+		Signer:     cfg.Keys.scheme.Signer(cfg.Self),
+		Verifier:   cfg.Keys.scheme.Verifier(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	store := smr.NewKVStore()
+	var onCommit smr.CommitFunc
+	if cfg.OnCommit != nil {
+		cb := cfg.OnCommit
+		onCommit = func(slot uint64, cmd smr.Command, _ types.Decision) {
+			cb(slot, cmd)
+		}
+	}
+	rep, err := smr.NewReplica(smr.Config{
+		Cluster:     cfg.Cluster,
+		Self:        cfg.Self,
+		Signer:      cfg.Keys.scheme.Signer(cfg.Self),
+		Verifier:    cfg.Keys.scheme.Verifier(),
+		Transport:   tr,
+		App:         store,
+		OnCommit:    onCommit,
+		BaseTimeout: cfg.BaseTimeout,
+	})
+	if err != nil {
+		_ = tr.Close()
+		return nil, err
+	}
+	return &KVReplica{
+		tr:      tr,
+		replica: rep,
+		store:   store,
+		client:  fmt.Sprintf("replica-%d", cfg.Self),
+	}, nil
+}
+
+// Addr returns the bound listen address.
+func (r *KVReplica) Addr() string { return r.tr.Addr() }
+
+// SetPeers installs the cluster address table before Start.
+func (r *KVReplica) SetPeers(addrs []string) error { return r.tr.SetPeers(addrs) }
+
+// Start begins participating.
+func (r *KVReplica) Start() error { return r.replica.Start() }
+
+// Close stops the replica.
+func (r *KVReplica) Close() error { return r.replica.Close() }
+
+// Set replicates a key/value write through the log.
+func (r *KVReplica) Set(key, value string) error {
+	return r.replica.Submit(smr.EncodeKV(smr.KVCommand{
+		Op: smr.OpSet, Client: r.client, Seq: r.seq.Add(1), Key: key, Value: value,
+	}))
+}
+
+// Delete replicates a key removal through the log.
+func (r *KVReplica) Delete(key string) error {
+	return r.replica.Submit(smr.EncodeKV(smr.KVCommand{
+		Op: smr.OpDel, Client: r.client, Seq: r.seq.Add(1), Key: key,
+	}))
+}
+
+// Get reads a key from the local replica state.
+func (r *KVReplica) Get(key string) (string, bool) { return r.store.Get(key) }
+
+// AppliedOps returns the number of commands applied locally.
+func (r *KVReplica) AppliedOps() uint64 { return r.store.AppliedOps() }

@@ -1,0 +1,44 @@
+# Make targets mirror the CI pipeline (.github/workflows/ci.yml) exactly, so
+# "it passes locally" and "it passes in CI" mean the same thing.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt fmt-check vet clean
+
+all: build test
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: run the full test suite
+test:
+	$(GO) test ./...
+
+## race: run the full test suite under the race detector
+race:
+	$(GO) test -race ./...
+
+## bench: one-iteration smoke pass over every benchmark (compiles and runs
+## each benchmark once; use `go test -bench=. ./...` for real measurements)
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+## fmt: rewrite sources with gofmt
+fmt:
+	gofmt -w .
+
+## fmt-check: fail if any file is not gofmt-clean (CI uses this)
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+## vet: run go vet over every package
+vet:
+	$(GO) vet ./...
+
+## clean: drop build and test caches scoped to this module
+clean:
+	$(GO) clean ./...

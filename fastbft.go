@@ -47,6 +47,9 @@ type (
 	Decision = types.Decision
 	// Step counts message delays.
 	Step = types.Step
+	// Checkpoint identifies a stable, quorum-certified cut of a replicated
+	// log (see KVReplicaConfig.CheckpointInterval).
+	Checkpoint = types.Checkpoint
 )
 
 // Decision paths.

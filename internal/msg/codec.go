@@ -52,6 +52,23 @@ func Encode(m Message) []byte {
 		w.Uint8(t.Sub)
 		w.BytesField(t.X)
 		w.BytesField(t.Payload)
+	case *Checkpoint:
+		w.Uvarint(t.CP.Slot)
+		w.BytesField(t.CP.StateHash)
+		encodeSig(w, t.Phi)
+	case *FetchState:
+		w.Uvarint(t.From)
+	case *StateSnapshot:
+		w.Bool(t.HasSnap)
+		if t.HasSnap {
+			w.BytesField(t.Snapshot)
+			t.Cert.encode(w)
+		}
+		w.Uvarint(uint64(len(t.Tail)))
+		for _, td := range t.Tail {
+			w.Uvarint(td.Slot)
+			td.CC.encode(w)
+		}
 	default:
 		// Unreachable for messages defined in this package; a zero-length
 		// buffer fails decoding loudly on the other side.
@@ -130,6 +147,38 @@ func Decode(buf []byte) (Message, error) {
 		t.Sub = r.Uint8()
 		t.X = r.BytesField()
 		t.Payload = r.BytesField()
+		m = t
+	case KindCheckpoint:
+		t := &Checkpoint{}
+		t.CP.Slot = r.Uvarint()
+		t.CP.StateHash = r.BytesField()
+		t.Phi = decodeSig(r)
+		m = t
+	case KindFetchState:
+		t := &FetchState{}
+		t.From = r.Uvarint()
+		m = t
+	case KindStateSnapshot:
+		t := &StateSnapshot{}
+		t.HasSnap = r.Bool()
+		if t.HasSnap {
+			t.Snapshot = r.BytesField()
+			t.Cert = decodeCheckpointCert(r)
+		}
+		n := r.SliceLen()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if n > MaxTailDecisions {
+			return nil, wire.ErrOverflow
+		}
+		t.Tail = make([]TailDecision, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			var td TailDecision
+			td.Slot = r.Uvarint()
+			td.CC = decodeCommitCert(r)
+			t.Tail = append(t.Tail, td)
+		}
 		m = t
 	default:
 		return nil, fmt.Errorf("msg: unknown kind %d", uint8(kind))

@@ -75,6 +75,15 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&Commit{View: 2, X: x, CC: *cc},
 		&Wish{View: 9},
 		&Raw{View: 4, Proto: ProtoPBFT, Sub: 2, X: x, Payload: []byte{1, 2, 3}},
+		&Checkpoint{CP: sampleCheckpoint(), Phi: s.Signer(1).Sign(CheckpointDigest(sampleCheckpoint()))},
+		&FetchState{From: 41},
+		&StateSnapshot{},
+		&StateSnapshot{
+			HasSnap:  true,
+			Snapshot: []byte("snapshot-bytes"),
+			Cert:     *sampleCheckpointCert(s),
+			Tail:     []TailDecision{{Slot: 17, CC: *cc}, {Slot: 18, CC: *cc}},
+		},
 	}
 	for _, m := range msgs {
 		roundTrip(t, m)
@@ -199,6 +208,7 @@ func TestDigestDomainSeparation(t *testing.T) {
 		AckDigest(x, v),
 		CertAckDigest(x, v),
 		VoteDigest(NilVote(), v),
+		CheckpointDigest(types.Checkpoint{Slot: 3, StateHash: x}),
 	}
 	for i := range digests {
 		for j := i + 1; j < len(digests); j++ {

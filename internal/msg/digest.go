@@ -19,6 +19,8 @@ const (
 	domainAck     byte = 2 // φ_ack = sign_q((ack, x, v))
 	domainCertAck byte = 3 // φ_ca = sign_q((CertAck, x, v))
 	domainVote    byte = 4 // φ_vote = sign_q((vote, vote_q, v))
+	// domainCheckpoint covers SMR checkpoints: sign_q((ckpt, slot, stateHash)).
+	domainCheckpoint byte = 5
 )
 
 func digest(domain byte, v types.View, x types.Value, extra []byte) []byte {
@@ -50,6 +52,17 @@ func AckDigest(x types.Value, v types.View) []byte {
 // progress certificate.
 func CertAckDigest(x types.Value, v types.View) []byte {
 	return digest(domainCertAck, v, x, nil)
+}
+
+// CheckpointDigest is the byte string covered by checkpoint signatures:
+// sign((ckpt, slot, stateHash)). CertQuorum (f+1) such signatures from
+// distinct replicas form a CheckpointCert.
+func CheckpointDigest(cp types.Checkpoint) []byte {
+	w := wire.NewWriter(16 + len(cp.StateHash))
+	w.Uint8(domainCheckpoint)
+	w.Uvarint(cp.Slot)
+	w.BytesField(cp.StateHash)
+	return w.Bytes()
 }
 
 // VoteDigest is the byte string covered by a vote signature:

@@ -36,6 +36,16 @@ const (
 	// KindRaw is the generic envelope used by baseline protocols and the
 	// lower-bound strawman (see Raw).
 	KindRaw
+	// KindCheckpoint carries a replica's signed state digest at a checkpoint
+	// slot; CertQuorum matching checkpoints make the checkpoint stable (see
+	// internal/smr).
+	KindCheckpoint
+	// KindFetchState asks a peer for a state-transfer snapshot covering the
+	// requester's applied frontier.
+	KindFetchState
+	// KindStateSnapshot answers a FetchState with a certified checkpoint
+	// snapshot plus certified decisions for the slots after it.
+	KindStateSnapshot
 )
 
 // String implements fmt.Stringer.
@@ -59,6 +69,12 @@ func (k Kind) String() string {
 		return "wish"
 	case KindRaw:
 		return "raw"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindFetchState:
+		return "fetchstate"
+	case KindStateSnapshot:
+		return "statesnapshot"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// ReplicaNet is a deterministic payload-level network for SMR replicas
+// (internal/smr): the counterpart, one layer up, of the message-level
+// discrete-event Network that drives raw consensus instances. Endpoints
+// implement transport.Transport, but nothing is delivered asynchronously:
+// sends append to one global FIFO queue, and the test (or experiment
+// harness) pumps deliveries explicitly with Step or Drain, each delivery
+// invoking the destination handler synchronously on the caller's goroutine.
+// A fixed schedule of submissions and Drain calls therefore replays
+// identically, which is what makes crash/recovery scenarios reproducible.
+//
+// Crashes are modeled with SetDown: messages to or from a down process are
+// discarded (a crashed host receives nothing, and nothing it "sends" exists).
+// Restart installs a fresh endpoint for a recovered process, to be wired to
+// a fresh replica.
+type ReplicaNet struct {
+	n int
+
+	mu    sync.Mutex
+	queue []replicaDelivery
+	eps   []*replicaEndpoint
+	down  []bool
+}
+
+type replicaDelivery struct {
+	from, to types.ProcessID
+	payload  []byte
+}
+
+// NewReplicaNet creates a deterministic network of n endpoints.
+func NewReplicaNet(n int) *ReplicaNet {
+	rn := &ReplicaNet{n: n, eps: make([]*replicaEndpoint, n), down: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		rn.eps[i] = &replicaEndpoint{net: rn, self: types.ProcessID(i)}
+	}
+	return rn
+}
+
+// Transport returns the endpoint of process p.
+func (rn *ReplicaNet) Transport(p types.ProcessID) transport.Transport {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	return rn.eps[p]
+}
+
+// SetDown marks process p as crashed (true) or recovered (false). While
+// down, deliveries to and sends from p are discarded; pending queue entries
+// to or from p are dropped as well, so the crash is a clean cut: nothing p
+// "sent" before the crash point survives it, and a later restart starts
+// with an empty inbox.
+func (rn *ReplicaNet) SetDown(p types.ProcessID, down bool) {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	rn.down[p] = down
+	if down {
+		kept := rn.queue[:0]
+		for _, d := range rn.queue {
+			if d.to != p && d.from != p {
+				kept = append(kept, d)
+			}
+		}
+		rn.queue = kept
+	}
+}
+
+// Restart replaces the endpoint of a recovered process with a fresh one and
+// marks the process up. The caller wires a new replica to the returned
+// transport and starts it.
+func (rn *ReplicaNet) Restart(p types.ProcessID) transport.Transport {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	rn.down[p] = false
+	rn.eps[p] = &replicaEndpoint{net: rn, self: p}
+	return rn.eps[p]
+}
+
+// Step delivers the oldest queued payload, if any, and reports whether a
+// delivery happened.
+func (rn *ReplicaNet) Step() bool {
+	rn.mu.Lock()
+	if len(rn.queue) == 0 {
+		rn.mu.Unlock()
+		return false
+	}
+	d := rn.queue[0]
+	rn.queue = rn.queue[1:]
+	var h transport.Handler
+	if !rn.down[d.to] {
+		ep := rn.eps[d.to]
+		ep.mu.Lock()
+		if ep.started && !ep.closed {
+			h = ep.handler
+		}
+		ep.mu.Unlock()
+	}
+	rn.mu.Unlock()
+	if h != nil {
+		h(d.from, d.payload)
+	}
+	return true
+}
+
+// Drain pumps deliveries until the queue is empty or max deliveries have
+// been made (0 means no bound). It returns the number of deliveries. Since
+// handlers send more messages as they process, Drain with no bound runs the
+// cluster to quiescence.
+func (rn *ReplicaNet) Drain(max int) int {
+	n := 0
+	for max <= 0 || n < max {
+		if !rn.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// QueueLen returns the number of undelivered payloads.
+func (rn *ReplicaNet) QueueLen() int {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	return len(rn.queue)
+}
+
+func (rn *ReplicaNet) send(from, to types.ProcessID, payload []byte) {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	if rn.down[from] || rn.down[to] {
+		return
+	}
+	rn.queue = append(rn.queue, replicaDelivery{from: from, to: to, payload: cp})
+}
+
+// replicaEndpoint implements transport.Transport over a ReplicaNet.
+type replicaEndpoint struct {
+	net  *ReplicaNet
+	self types.ProcessID
+
+	mu      sync.Mutex
+	handler transport.Handler
+	started bool
+	closed  bool
+}
+
+var _ transport.Transport = (*replicaEndpoint)(nil)
+
+// Self implements transport.Transport.
+func (ep *replicaEndpoint) Self() types.ProcessID { return ep.self }
+
+// SetHandler implements transport.Transport.
+func (ep *replicaEndpoint) SetHandler(h transport.Handler) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.handler = h
+}
+
+// Start implements transport.Transport.
+func (ep *replicaEndpoint) Start() error {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return transport.ErrClosed
+	}
+	ep.started = true
+	return nil
+}
+
+// Send implements transport.Transport.
+func (ep *replicaEndpoint) Send(to types.ProcessID, payload []byte) error {
+	if !to.Valid(ep.net.n) {
+		return transport.ErrUnknownPeer
+	}
+	ep.mu.Lock()
+	closed := ep.closed
+	ep.mu.Unlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	ep.net.send(ep.self, to, payload)
+	return nil
+}
+
+// Broadcast implements transport.Transport.
+func (ep *replicaEndpoint) Broadcast(payload []byte) error {
+	for i := 0; i < ep.net.n; i++ {
+		if pid := types.ProcessID(i); pid != ep.self {
+			if err := ep.Send(pid, payload); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close implements transport.Transport.
+func (ep *replicaEndpoint) Close() error {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.closed = true
+	return nil
+}

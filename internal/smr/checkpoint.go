@@ -1,0 +1,268 @@
+package smr
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/msg"
+	"repro/internal/sigcrypto"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Checkpointing bounds the memory of the replicated log. Every
+// Config.CheckpointInterval applied slots a replica snapshots its state
+// (application snapshot plus the command-dedup set), signs the snapshot
+// digest, and broadcasts a Checkpoint message. Once CertQuorum (f+1)
+// replicas sign the same (slot, digest) pair the checkpoint is stable: at
+// least one signer is correct and correct replicas compute the digest only
+// by applying the decided log, so the digest provably identifies the unique
+// correct state at that slot. A replica with a stable checkpoint prunes all
+// consensus instances, decision records, and commit certificates at or below
+// the checkpoint slot, and keeps the snapshot bytes to serve state transfer
+// (see statetransfer.go).
+
+// Snapshotter is implemented by applications that support checkpointing.
+// Snapshot must be deterministic: two replicas that applied the same command
+// sequence must produce byte-identical snapshots, because the snapshot
+// digest is what checkpoint quorums certify.
+type Snapshotter interface {
+	// Snapshot serializes the full application state.
+	Snapshot() []byte
+	// Restore replaces the application state with a decoded snapshot.
+	Restore(data []byte) error
+}
+
+// ckptVotesPerSender is how many recent signed checkpoints are retained per
+// sender. Keying the store by sender (rather than by (slot, digest)) bounds
+// it at n×ckptVotesPerSender entries and makes it unpoisonable: a Byzantine
+// replica can only ever overwrite its own entries, never evict a correct
+// replica's vote. A replica more than ckptVotesPerSender boundaries behind
+// its peers recovers through state transfer, not through tallying.
+const ckptVotesPerSender = 4
+
+// maybeCheckpointLocked emits a checkpoint if the apply pointer just crossed
+// an interval boundary. The caller holds r.mu and has applied every slot
+// below r.applyPtr.
+func (r *Replica) maybeCheckpointLocked() {
+	if r.interval == 0 || r.applyPtr == 0 || r.applyPtr%r.interval != 0 {
+		return
+	}
+	s := r.applyPtr - 1
+	if r.ckptDone > s {
+		return
+	}
+	r.ckptDone = s + 1
+	snap := r.encodeSnapshotLocked(s)
+	r.snaps[s] = snap
+	sum := sha256.Sum256(snap)
+	cp := types.Checkpoint{Slot: s, StateHash: sum[:]}
+	m := &msg.Checkpoint{CP: cp, Phi: r.cfg.Signer.Sign(msg.CheckpointDigest(cp))}
+	_ = r.cfg.Transport.Broadcast(envelope(syncSlot, m))
+	r.onCheckpointLocked(r.cfg.Self, m)
+}
+
+// onCheckpointLocked records one signed checkpoint (the replica's own or a
+// peer's) and stabilizes the checkpoint once a quorum of matching digests
+// accumulates. A checkpoint far beyond the local frontier is evidence that
+// this replica is lagging and triggers state transfer.
+func (r *Replica) onCheckpointLocked(from types.ProcessID, m *msg.Checkpoint) {
+	if r.interval == 0 || m.Phi.Signer != from {
+		return
+	}
+	if !r.cfg.Verifier.Verify(msg.CheckpointDigest(m.CP), m.Phi) {
+		return // also gates the lag evidence below: unsigned claims carry none
+	}
+	if m.CP.Slot >= r.applyPtr+r.interval {
+		r.noteBehindLocked(m.CP.Slot, from)
+	}
+	// Store the vote in the sender's ring: replace an entry for the same
+	// slot, otherwise append and trim to the most recent ckptVotesPerSender.
+	ring := r.ckptVotes[from]
+	replaced := false
+	for i, v := range ring {
+		if v.CP.Slot == m.CP.Slot {
+			ring[i] = m
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		ring = append(ring, m)
+		if len(ring) > ckptVotesPerSender {
+			oldest := 0
+			for i, v := range ring {
+				if v.CP.Slot < ring[oldest].CP.Slot {
+					oldest = i
+				}
+			}
+			ring = append(ring[:oldest], ring[oldest+1:]...)
+		}
+	}
+	r.ckptVotes[from] = ring
+
+	// Adopt the checkpoint as stable only if this replica has applied
+	// through the slot itself (so pruning never discards unapplied state);
+	// otherwise it is just lag evidence, handled above.
+	snap, have := r.snaps[m.CP.Slot]
+	if !have {
+		return
+	}
+	sigs := make([]sigcrypto.Signature, 0, r.th.CertQuorum())
+	for _, votes := range r.ckptVotes {
+		for _, v := range votes {
+			if v.CP.Equal(m.CP) {
+				sigs = append(sigs, v.Phi.Clone())
+				break // one vote per sender
+			}
+		}
+	}
+	if len(sigs) < r.th.CertQuorum() {
+		return
+	}
+	cert := &msg.CheckpointCert{CP: m.CP.Clone(), Sigs: sigs}
+	r.stabilizeLocked(cert, snap)
+}
+
+// stabilizeLocked installs a newer stable checkpoint and garbage-collects
+// everything the checkpoint covers: consensus instances, decision records,
+// commit certificates, older snapshots, and older checkpoint votes. The
+// caller holds r.mu; cert must be valid and snap must hash to
+// cert.CP.StateHash.
+func (r *Replica) stabilizeLocked(cert *msg.CheckpointCert, snap []byte) {
+	if cert == nil {
+		return
+	}
+	if r.stable != nil && cert.CP.Slot <= r.stable.CP.Slot {
+		return
+	}
+	s := cert.CP.Slot
+	r.stable = cert
+	r.stableSnap = snap
+	for num, sl := range r.slots {
+		if num <= s {
+			if sl.timer != nil {
+				sl.timer.Stop()
+			}
+			delete(r.slots, num)
+		}
+	}
+	for num := range r.decided {
+		if num <= s {
+			delete(r.decided, num)
+		}
+	}
+	for num := range r.certs {
+		if num <= s {
+			delete(r.certs, num)
+		}
+	}
+	for num := range r.snaps {
+		if num < s {
+			delete(r.snaps, num)
+		}
+	}
+	for sender, votes := range r.ckptVotes {
+		kept := votes[:0]
+		for _, v := range votes {
+			if v.CP.Slot > s {
+				kept = append(kept, v)
+			}
+		}
+		if len(kept) == 0 {
+			delete(r.ckptVotes, sender)
+		} else {
+			r.ckptVotes[sender] = kept
+		}
+	}
+}
+
+// StableCheckpoint returns the replica's stable checkpoint, if one exists.
+func (r *Replica) StableCheckpoint() (types.Checkpoint, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stable == nil {
+		return types.Checkpoint{}, false
+	}
+	return r.stable.CP.Clone(), true
+}
+
+// SlotCount returns the number of live consensus instances (test/metrics
+// hook: with checkpointing enabled it stays bounded regardless of log
+// length).
+func (r *Replica) SlotCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.slots)
+}
+
+// DecidedCount returns the number of retained decision records.
+func (r *Replica) DecidedCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.decided)
+}
+
+// ---------------------------------------------------------------------------
+// Composite snapshot codec
+// ---------------------------------------------------------------------------
+
+// encodeSnapshotLocked serializes the replica state after applying slot s:
+// the checkpoint slot, the command-dedup set (sorted, so the encoding is
+// deterministic across replicas), and the application snapshot. The caller
+// holds r.mu and must have r.applyPtr == s+1.
+func (r *Replica) encodeSnapshotLocked(s uint64) []byte {
+	cmds := make([]string, 0, len(r.applied))
+	for c := range r.applied {
+		cmds = append(cmds, c)
+	}
+	sort.Strings(cmds)
+	app := r.snapshotter.Snapshot()
+	size := 16 + len(app)
+	for _, c := range cmds {
+		size += len(c) + 5
+	}
+	w := wire.NewWriter(size)
+	w.Uvarint(s)
+	w.Uvarint(uint64(len(cmds)))
+	for _, c := range cmds {
+		w.BytesField([]byte(c))
+	}
+	w.BytesField(app)
+	return w.Bytes()
+}
+
+// errSnapshotMismatch reports a snapshot that does not cover the slot its
+// certificate claims.
+var errSnapshotMismatch = errors.New("smr: snapshot slot mismatch")
+
+// decodeSnapshot parses a composite snapshot, returning the dedup command
+// set and the application snapshot bytes.
+func decodeSnapshot(slot uint64, snap []byte) (map[string]bool, []byte, error) {
+	rd := wire.NewReader(snap)
+	s := rd.Uvarint()
+	if err := rd.Err(); err != nil {
+		return nil, nil, err
+	}
+	if s != slot {
+		return nil, nil, errSnapshotMismatch
+	}
+	n := rd.Uvarint()
+	if err := rd.Err(); err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(rd.Remaining()) {
+		return nil, nil, wire.ErrOverflow
+	}
+	applied := make(map[string]bool, n)
+	for i := uint64(0); i < n; i++ {
+		applied[string(rd.BytesField())] = true
+	}
+	app := rd.BytesField()
+	if err := rd.Finish(); err != nil {
+		return nil, nil, fmt.Errorf("smr snapshot: %w", err)
+	}
+	return applied, app, nil
+}

@@ -2,6 +2,7 @@ package smr
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/wire"
@@ -62,7 +63,10 @@ type KVStore struct {
 	applied uint64
 }
 
-var _ App = (*KVStore)(nil)
+var (
+	_ App         = (*KVStore)(nil)
+	_ Snapshotter = (*KVStore)(nil)
+)
 
 // NewKVStore returns an empty store.
 func NewKVStore() *KVStore {
@@ -107,4 +111,54 @@ func (kv *KVStore) AppliedOps() uint64 {
 	kv.mu.RLock()
 	defer kv.mu.RUnlock()
 	return kv.applied
+}
+
+// Snapshot implements Snapshotter. Keys are emitted in sorted order so that
+// replicas with identical logical state produce byte-identical snapshots, as
+// checkpoint certification requires.
+func (kv *KVStore) Snapshot() []byte {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	keys := make([]string, 0, len(kv.data))
+	size := 16
+	for k, v := range kv.data {
+		keys = append(keys, k)
+		size += len(k) + len(v) + 10
+	}
+	sort.Strings(keys)
+	w := wire.NewWriter(size)
+	w.Uvarint(kv.applied)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.BytesField([]byte(k))
+		w.BytesField([]byte(kv.data[k]))
+	}
+	return w.Bytes()
+}
+
+// Restore implements Snapshotter, replacing the store contents.
+func (kv *KVStore) Restore(data []byte) error {
+	r := wire.NewReader(data)
+	applied := r.Uvarint()
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("kv snapshot: %w", err)
+	}
+	if n > uint64(r.Remaining()) {
+		return fmt.Errorf("kv snapshot: %w", wire.ErrOverflow)
+	}
+	m := make(map[string]string, n)
+	for i := uint64(0); i < n; i++ {
+		k := string(r.BytesField())
+		v := string(r.BytesField())
+		m[k] = v
+	}
+	if err := r.Finish(); err != nil {
+		return fmt.Errorf("kv snapshot: %w", err)
+	}
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.data = m
+	kv.applied = applied
+	return nil
 }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/msg"
+	"repro/internal/quorum"
 	"repro/internal/sigcrypto"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -34,6 +35,11 @@ type Command = types.Value
 // slot has the command in its queue (without forwarding, a command
 // submitted to a process that never becomes leader would starve).
 const ctrlSlot = ^uint64(0)
+
+// syncSlot is the reserved envelope slot number carrying log-maintenance
+// messages (Checkpoint, FetchState, StateSnapshot); they concern the log as
+// a whole, not one consensus instance.
+const syncSlot = ^uint64(0) - 1
 
 // App consumes decided commands in slot order.
 type App interface {
@@ -70,11 +76,21 @@ type Config struct {
 	// MaxBatch is the maximum number of pending commands a leader packs
 	// into one proposal (default 1, i.e. no batching).
 	MaxBatch int
+	// CheckpointInterval, when positive, enables checkpointing and state
+	// transfer: every CheckpointInterval applied slots the replica emits a
+	// signed checkpoint, and a quorum-certified checkpoint prunes all
+	// per-slot state it covers (see checkpoint.go). Requires App to
+	// implement Snapshotter. Zero disables checkpointing: the log grows
+	// without bound, as in the bare protocol.
+	CheckpointInterval uint64
 }
 
 // Replica is one member of the replicated state machine.
 type Replica struct {
-	cfg Config
+	cfg         Config
+	th          quorum.Thresholds
+	interval    uint64      // cfg.CheckpointInterval (0 = disabled)
+	snapshotter Snapshotter // non-nil iff interval > 0
 
 	mu       sync.Mutex
 	started  bool
@@ -87,6 +103,22 @@ type Replica struct {
 	next     uint64 // lowest slot not yet decided locally
 	applyPtr uint64 // lowest slot not yet applied
 	wg       sync.WaitGroup
+
+	// Checkpoint / state-transfer state (see checkpoint.go, statetransfer.go).
+	certs      map[uint64]*msg.CommitCert            // per-slot commit certificates
+	ckptVotes  map[types.ProcessID][]*msg.Checkpoint // recent signed checkpoints per sender
+	snaps      map[uint64][]byte                     // own snapshots at interval boundaries
+	stable     *msg.CheckpointCert                   // newest quorum-certified checkpoint
+	stableSnap []byte                                // snapshot bytes of the stable checkpoint
+	ckptDone   uint64                                // 1 + slot of the last emitted checkpoint
+	fetchAt    uint64                                // 1 + applyPtr at the last FetchState (0 = sync idle)
+	fetchEv    uint64                                // highest lag evidence slot observed
+	fetchTime  time.Time                             // when the last FetchState was sent
+	fetchTimer *time.Timer                           // retry timer of the sync loop
+	fetchRR    types.ProcessID                       // peer the last FetchState went to
+	fetchCycle int                                   // retries in the current round-robin cycle
+	fetchStart uint64                                // applyPtr when the current cycle began
+	serveTime  map[types.ProcessID]time.Time         // last StateSnapshot served per requester
 }
 
 type slot struct {
@@ -111,11 +143,25 @@ func NewReplica(cfg Config) (*Replica, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 1
 	}
+	var snapper Snapshotter
+	if cfg.CheckpointInterval > 0 {
+		var ok bool
+		if snapper, ok = cfg.App.(Snapshotter); !ok {
+			return nil, errors.New("smr: CheckpointInterval requires App to implement Snapshotter")
+		}
+	}
 	return &Replica{
-		cfg:     cfg,
-		slots:   make(map[uint64]*slot),
-		decided: make(map[uint64]types.Decision),
-		applied: make(map[string]bool),
+		cfg:         cfg,
+		th:          quorum.New(cfg.Cluster),
+		interval:    cfg.CheckpointInterval,
+		snapshotter: snapper,
+		slots:       make(map[uint64]*slot),
+		decided:     make(map[uint64]types.Decision),
+		applied:     make(map[string]bool),
+		certs:       make(map[uint64]*msg.CommitCert),
+		ckptVotes:   make(map[types.ProcessID][]*msg.Checkpoint),
+		snaps:       make(map[uint64][]byte),
+		serveTime:   make(map[types.ProcessID]time.Time),
 	}, nil
 }
 
@@ -144,6 +190,9 @@ func (r *Replica) Close() error {
 		if s.timer != nil {
 			s.timer.Stop()
 		}
+	}
+	if r.fetchTimer != nil {
+		r.fetchTimer.Stop()
 	}
 	r.mu.Unlock()
 	err := r.cfg.Transport.Close()
@@ -212,6 +261,51 @@ func (r *Replica) PendingCount() int {
 
 func (r *Replica) now() core.Time { return core.Time(time.Since(r.start)) }
 
+// slotSalt returns the signing-domain salt of slot s. Every signature a
+// consensus instance produces covers the salt followed by the instance's
+// own digest, so signatures (and the certificates built from them) are
+// bound to their slot: a commit certificate harvested from slot j can never
+// authenticate a decision for slot k — neither replayed into slot k's
+// envelopes nor presented in a state-transfer tail. The salt's leading byte
+// is disjoint from the msg digest domain bytes, so salted and unsalted
+// digests can never collide.
+func slotSalt(s uint64) []byte {
+	w := wire.NewWriter(11)
+	w.Uint8(0xA5)
+	w.Uvarint(s)
+	return w.Bytes()
+}
+
+// slotSigner and slotVerifier wrap the replica's signature scheme with a
+// per-slot salt.
+type slotSigner struct {
+	inner sigcrypto.Signer
+	salt  []byte
+}
+
+func (s slotSigner) ID() types.ProcessID { return s.inner.ID() }
+
+func (s slotSigner) Sign(msg []byte) sigcrypto.Signature {
+	return s.inner.Sign(saltedMsg(s.salt, msg))
+}
+
+type slotVerifier struct {
+	inner sigcrypto.Verifier
+	salt  []byte
+}
+
+func (v slotVerifier) Verify(msg []byte, sig sigcrypto.Signature) bool {
+	return v.inner.Verify(saltedMsg(v.salt, msg), sig)
+}
+
+// saltedMsg concatenates salt and msg with a single allocation; it runs for
+// every signature operation on the consensus hot path.
+func saltedMsg(salt, msg []byte) []byte {
+	out := make([]byte, 0, len(salt)+len(msg))
+	out = append(out, salt...)
+	return append(out, msg...)
+}
+
 // ensureSlotLocked creates the consensus instance for slot s if it is
 // within the live window and does not exist yet.
 func (r *Replica) ensureSlotLocked(s uint64) *slot {
@@ -229,7 +323,11 @@ func (r *Replica) ensureSlotLocked(s uint64) *slot {
 		}
 		input = EncodeBatch(r.pending[:k])
 	}
-	proc, err := core.NewProcess(r.cfg.Cluster, r.cfg.Self, r.cfg.Signer, r.cfg.Verifier, input, r.cfg.BaseTimeout)
+	salt := slotSalt(s)
+	proc, err := core.NewProcess(r.cfg.Cluster, r.cfg.Self,
+		slotSigner{inner: r.cfg.Signer, salt: salt},
+		slotVerifier{inner: r.cfg.Verifier, salt: salt},
+		input, r.cfg.BaseTimeout)
 	if err != nil {
 		return nil // configuration was validated at construction; unreachable
 	}
@@ -266,14 +364,52 @@ func (r *Replica) onPayload(from types.ProcessID, payload []byte) {
 	if err != nil {
 		return
 	}
+	if s == syncSlot {
+		r.onSyncLocked(from, m)
+		return
+	}
 	sl, ok := r.slots[s]
 	if !ok {
 		sl = r.ensureSlotLocked(s)
 		if sl == nil {
-			return // outside the live window
+			// Traffic beyond the live window means the cluster moved on
+			// without us: ask the sender for a state snapshot.
+			if s >= r.next+uint64(r.cfg.WindowSize) {
+				r.noteBehindLocked(s, from)
+			}
+			return
 		}
 	}
 	r.applyActions(s, sl, sl.proc.Deliver(from, m, r.now()))
+	r.captureCertLocked(s, sl)
+}
+
+// onSyncLocked routes a log-maintenance message; the caller holds r.mu.
+func (r *Replica) onSyncLocked(from types.ProcessID, m msg.Message) {
+	switch t := m.(type) {
+	case *msg.Checkpoint:
+		r.onCheckpointLocked(from, t)
+	case *msg.FetchState:
+		r.onFetchStateLocked(from, t)
+	case *msg.StateSnapshot:
+		r.onStateSnapshotLocked(from, t)
+	}
+}
+
+// captureCertLocked harvests the commit certificate of a decided slot from
+// its consensus instance (ack signatures keep flowing briefly after a fast
+// decision, so the certificate may only be available a beat later). The
+// certificates authenticate tail decisions during state transfer.
+func (r *Replica) captureCertLocked(s uint64, sl *slot) {
+	if r.interval == 0 || r.certs[s] != nil {
+		return
+	}
+	if _, decided := r.decided[s]; !decided {
+		return
+	}
+	if cc := sl.proc.Replica().DecisionCert(); cc != nil {
+		r.certs[s] = cc
+	}
 }
 
 // onTimer fires the view timer of slot s.
@@ -288,6 +424,7 @@ func (r *Replica) onTimer(s uint64) {
 		return
 	}
 	r.applyActions(s, sl, sl.proc.Tick(r.now()))
+	r.captureCertLocked(s, sl)
 }
 
 // applyActions executes instance actions; the caller holds r.mu.
@@ -316,13 +453,23 @@ func (r *Replica) applyActions(s uint64, sl *slot, actions []core.Action) {
 	}
 }
 
-// onDecideLocked records a slot decision, applies consecutive decided
-// slots, and starts the next slot when commands are pending.
+// onDecideLocked records a slot decision and advances the log.
 func (r *Replica) onDecideLocked(s uint64, d types.Decision) {
 	if _, dup := r.decided[s]; dup {
 		return
 	}
+	if s < r.applyPtr {
+		return // already applied (and possibly pruned); re-recording would leak
+	}
 	r.decided[s] = d
+	r.advanceLocked()
+}
+
+// advanceLocked applies consecutive decided slots, garbage-collects stale
+// instances, and starts the next slot when commands are pending. It is the
+// common tail of deciding a slot and of restoring a snapshot (restoring can
+// unblock already-decided successors of the restored checkpoint).
+func (r *Replica) advanceLocked() {
 	// Advance the lowest-undecided pointer.
 	for {
 		if _, ok := r.decided[r.next]; !ok {
@@ -361,6 +508,7 @@ func (r *Replica) onDecideLocked(s uint64, d types.Decision) {
 			}()
 		}
 		r.applyPtr++
+		r.maybeCheckpointLocked()
 	}
 	// Garbage-collect instances far behind the live window so stragglers
 	// can still catch up on recent slots.

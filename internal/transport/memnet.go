@@ -33,7 +33,29 @@ func NewMemNetwork(n int, delay time.Duration) *MemNetwork {
 
 // Transport returns the endpoint of process p.
 func (m *MemNetwork) Transport(p types.ProcessID) Transport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.endpoints[p]
+}
+
+// Restart replaces the endpoint of process p with a fresh one and returns
+// it, modeling a crashed replica coming back up: the old endpoint is closed,
+// everything queued for it is lost (messages sent while a process is down
+// are gone, exactly as with a real crashed host), and the new endpoint
+// starts with an empty inbox. The caller wires a new replica to the
+// returned transport.
+func (m *MemNetwork) Restart(p types.ProcessID) Transport {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	old := m.endpoints[p]
+	ep := newMemEndpoint(m, p)
+	m.endpoints[p] = ep
+	m.mu.Unlock()
+	_ = old.Close()
+	return ep
 }
 
 // Close shuts down every endpoint.
@@ -44,8 +66,10 @@ func (m *MemNetwork) Close() error {
 		return nil
 	}
 	m.closed = true
+	eps := make([]*memEndpoint, len(m.endpoints))
+	copy(eps, m.endpoints)
 	m.mu.Unlock()
-	for _, ep := range m.endpoints {
+	for _, ep := range eps {
 		_ = ep.Close()
 	}
 	return nil
@@ -118,7 +142,9 @@ func (ep *memEndpoint) Send(to types.ProcessID, payload []byte) error {
 	}
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
+	ep.net.mu.Lock()
 	dst := ep.net.endpoints[to]
+	ep.net.mu.Unlock()
 	if ep.net.delay > 0 {
 		// Delayed delivery preserves per-sender order only approximately;
 		// good enough for tests that want a nonzero Δ.

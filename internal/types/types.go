@@ -154,6 +154,38 @@ func (c Config) String() string {
 	return fmt.Sprintf("n=%d f=%d t=%d", c.N, c.F, c.T)
 }
 
+// Checkpoint identifies a stable cut of the replicated log: every slot at or
+// below Slot has been decided and applied, and StateHash is the digest of the
+// replica state (application snapshot plus replication bookkeeping) after
+// applying slot Slot. Correct replicas compute identical checkpoints, so a
+// quorum of matching signed checkpoints certifies the state for garbage
+// collection and state transfer (see internal/smr).
+type Checkpoint struct {
+	// Slot is the highest applied slot covered by the checkpoint.
+	Slot uint64
+	// StateHash is the SHA-256 digest of the encoded snapshot at Slot.
+	StateHash []byte
+}
+
+// Equal reports whether two checkpoints cover the same slot and state.
+func (c Checkpoint) Equal(o Checkpoint) bool {
+	return c.Slot == o.Slot && Value(c.StateHash).Equal(Value(o.StateHash))
+}
+
+// Clone returns an independent copy.
+func (c Checkpoint) Clone() Checkpoint {
+	return Checkpoint{Slot: c.Slot, StateHash: Value(c.StateHash).Clone()}
+}
+
+// String implements fmt.Stringer.
+func (c Checkpoint) String() string {
+	h := c.StateHash
+	if len(h) > 4 {
+		h = h[:4]
+	}
+	return fmt.Sprintf("ckpt(slot=%d state=%x…)", c.Slot, h)
+}
+
 // DecidePath records which path of the protocol produced a decision.
 type DecidePath int
 

@@ -118,7 +118,15 @@ func (r *Reader) fail(err error) {
 	}
 }
 
-// Uvarint reads an unsigned varint.
+// ErrNonCanonical indicates an input that decodes to a value whose canonical
+// encoding differs (e.g. a padded varint). Such inputs are rejected so that
+// no two byte strings decode to the same message — signed digests must be
+// unique.
+var ErrNonCanonical = errors.New("wire: non-canonical encoding")
+
+// Uvarint reads an unsigned varint. Non-minimal (padded) encodings are
+// rejected: a minimal varint never ends in a zero byte unless it is the
+// single byte 0x00.
 func (r *Reader) Uvarint() uint64 {
 	if r.err != nil {
 		return 0
@@ -126,6 +134,10 @@ func (r *Reader) Uvarint() uint64 {
 	v, n := binary.Uvarint(r.buf[r.off:])
 	if n <= 0 {
 		r.fail(ErrTruncated)
+		return 0
+	}
+	if n > 1 && r.buf[r.off+n-1] == 0 {
+		r.fail(ErrNonCanonical)
 		return 0
 	}
 	r.off += n
@@ -161,7 +173,8 @@ func (r *Reader) Bool() bool {
 	}
 }
 
-// Int32 reads a zig-zag varint and checks the int32 range.
+// Int32 reads a zig-zag varint and checks the int32 range. As with Uvarint,
+// padded encodings are rejected.
 func (r *Reader) Int32() int32 {
 	if r.err != nil {
 		return 0
@@ -169,6 +182,10 @@ func (r *Reader) Int32() int32 {
 	v, n := binary.Varint(r.buf[r.off:])
 	if n <= 0 {
 		r.fail(ErrTruncated)
+		return 0
+	}
+	if n > 1 && r.buf[r.off+n-1] == 0 {
+		r.fail(ErrNonCanonical)
 		return 0
 	}
 	r.off += n

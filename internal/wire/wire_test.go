@@ -161,3 +161,31 @@ func TestReaderNeverPanicsOnGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNonCanonicalVarintRejected(t *testing.T) {
+	// A padded varint (e.g. 0x80 0x00 for zero) decodes to the same value
+	// as its minimal form; the reader must reject it so that no two byte
+	// strings decode to one message.
+	cases := [][]byte{
+		{0x80, 0x00},       // 0, padded to two bytes
+		{0xFF, 0x00},       // 127, padded to two bytes
+		{0x80, 0x80, 0x00}, // 0, padded to three bytes
+	}
+	for _, buf := range cases {
+		r := NewReader(buf)
+		r.Uvarint()
+		if !errors.Is(r.Err(), ErrNonCanonical) {
+			t.Fatalf("padded uvarint % x accepted (err=%v)", buf, r.Err())
+		}
+		r = NewReader(buf)
+		r.Int32()
+		if !errors.Is(r.Err(), ErrNonCanonical) {
+			t.Fatalf("padded varint % x accepted (err=%v)", buf, r.Err())
+		}
+	}
+	// The single zero byte is the canonical encoding of zero and must pass.
+	r := NewReader([]byte{0x00})
+	if v := r.Uvarint(); v != 0 || r.Finish() != nil {
+		t.Fatalf("canonical zero rejected: v=%d err=%v", v, r.Finish())
+	}
+}

@@ -117,6 +117,11 @@ type KVReplicaConfig struct {
 	BaseTimeout time.Duration
 	// OnCommit, if set, observes every decided log slot.
 	OnCommit func(slot uint64, cmd []byte)
+	// CheckpointInterval, when positive, enables checkpointing: every
+	// CheckpointInterval applied slots the replica emits a signed
+	// checkpoint; a quorum-certified checkpoint prunes the log below it and
+	// serves state transfer to lagging replicas. Zero disables it.
+	CheckpointInterval uint64
 }
 
 // KVReplica is one member of the replicated key-value store: the SMR layer
@@ -160,14 +165,15 @@ func NewKVReplica(cfg KVReplicaConfig) (*KVReplica, error) {
 		}
 	}
 	rep, err := smr.NewReplica(smr.Config{
-		Cluster:     cfg.Cluster,
-		Self:        cfg.Self,
-		Signer:      cfg.Keys.scheme.Signer(cfg.Self),
-		Verifier:    cfg.Keys.scheme.Verifier(),
-		Transport:   tr,
-		App:         store,
-		OnCommit:    onCommit,
-		BaseTimeout: cfg.BaseTimeout,
+		Cluster:            cfg.Cluster,
+		Self:               cfg.Self,
+		Signer:             cfg.Keys.scheme.Signer(cfg.Self),
+		Verifier:           cfg.Keys.scheme.Verifier(),
+		Transport:          tr,
+		App:                store,
+		OnCommit:           onCommit,
+		BaseTimeout:        cfg.BaseTimeout,
+		CheckpointInterval: cfg.CheckpointInterval,
 	})
 	if err != nil {
 		_ = tr.Close()
@@ -212,3 +218,7 @@ func (r *KVReplica) Get(key string) (string, bool) { return r.store.Get(key) }
 
 // AppliedOps returns the number of commands applied locally.
 func (r *KVReplica) AppliedOps() uint64 { return r.store.AppliedOps() }
+
+// StableCheckpoint returns the replica's newest quorum-certified checkpoint,
+// if checkpointing is enabled and one has formed.
+func (r *KVReplica) StableCheckpoint() (Checkpoint, bool) { return r.replica.StableCheckpoint() }

@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt fmt-check vet clean
+# BENCH_JSON is where bench-json writes its report; CI uploads it as the
+# workflow artifact. FUZZTIME is the per-target budget of the fuzz target.
+BENCH_JSON ?= BENCH_PR2.json
+FUZZTIME ?= 30s
+
+.PHONY: all build test race bench bench-json fuzz fmt fmt-check vet clean
 
 all: build test
 
@@ -23,6 +28,23 @@ race:
 ## each benchmark once; use `go test -bench=. ./...` for real measurements)
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+## bench-json: run every benchmark once with -benchmem (including the SMR
+## throughput benchmark) and convert the output to a JSON report via
+## cmd/benchjson, so the perf trajectory is recorded run over run
+## (two steps, not a pipe: a pipe would report the converter's exit status
+## and let a failing benchmark run slip through CI green)
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... > $(BENCH_JSON).txt
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < $(BENCH_JSON).txt
+	rm -f $(BENCH_JSON).txt
+
+## fuzz: run every fuzz target for FUZZTIME each (Go allows one -fuzz
+## pattern per invocation, hence one line per target)
+fuzz:
+	$(GO) test ./internal/smr -run '^$$' -fuzz '^FuzzDecodeBatch$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/msg -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/msg -run '^$$' -fuzz '^FuzzDecodeReply$$' -fuzztime $(FUZZTIME)
 
 ## fmt: rewrite sources with gofmt
 fmt:

@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// report, so CI can archive benchmark results as a machine-readable
+// artifact and the performance trajectory of the repository is recorded
+// run over run.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | benchjson -o BENCH.json
+//
+// The report carries the environment header lines (goos, goarch, pkg, cpu)
+// and one entry per benchmark result line with every reported metric
+// (ns/op, B/op, allocs/op, and any custom ReportMetric units).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name including sub-benchmark path, without the
+	// GOMAXPROCS suffix (BenchmarkX/n=4-8 → BenchmarkX/n=4).
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (8 in the example above; 1 if absent).
+	Procs int `json:"procs"`
+	// Pkg is the package the benchmark belongs to (the closest preceding
+	// "pkg:" header line).
+	Pkg string `json:"pkg,omitempty"`
+	// Iterations is the measured iteration count.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every "<value> <unit>" pair on the
+	// line, e.g. "ns/op": 52341.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	// Env holds the environment header lines: goos, goarch, cpu.
+	Env map[string]string `json:"env"`
+	// Benchmarks lists every parsed result in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		_, _ = os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// parse consumes `go test -bench` output. Unrecognized lines (test chatter,
+// PASS/ok trailers) are skipped, so the tool can sit directly on a piped
+// `go test ./...` run.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Env: make(map[string]string)}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			rep.Env[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "pkg:"):
+			_, v, _ := strings.Cut(line, ":")
+			pkg = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				b.Pkg = pkg
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName/sub-8   	     123	      4567 ns/op	      89 B/op	       2 allocs/op
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, false
+	}
+	name, procs := splitProcs(fields[0])
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+// splitProcs strips the -GOMAXPROCS suffix from a benchmark name. The
+// suffix is the digits after the last dash; sub-benchmark names may
+// themselves contain dashes and digits, so only a trailing all-digit
+// segment counts.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name, 1
+	}
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs <= 0 {
+		return name, 1
+	}
+	return name[:i], procs
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkSMRThroughput/n=4-8         	       1	   1234567 ns/op	  345678 B/op	    2345 allocs/op
+BenchmarkCodec/encode-propose-8      	  500000	      2100 ns/op
+BenchmarkTableLatency/f=1/steps-8    	       1	         2.000 steps
+PASS
+ok  	repro	1.234s
+some unrelated chatter
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Env["goos"] != "linux" || rep.Env["goarch"] != "amd64" || rep.Env["cpu"] != "AMD EPYC 7B13" {
+		t.Fatalf("env parse: %v", rep.Env)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkSMRThroughput/n=4" || b.Procs != 8 || b.Pkg != "repro" {
+		t.Fatalf("first benchmark: %+v", b)
+	}
+	if b.Iterations != 1 || b.Metrics["ns/op"] != 1234567 || b.Metrics["B/op"] != 345678 || b.Metrics["allocs/op"] != 2345 {
+		t.Fatalf("first benchmark metrics: %+v", b)
+	}
+
+	// Dashes inside sub-benchmark names survive; only the trailing
+	// GOMAXPROCS segment is stripped.
+	if got := rep.Benchmarks[1].Name; got != "BenchmarkCodec/encode-propose" {
+		t.Fatalf("second benchmark name: %q", got)
+	}
+	if rep.Benchmarks[1].Iterations != 500000 {
+		t.Fatalf("second benchmark iterations: %d", rep.Benchmarks[1].Iterations)
+	}
+
+	// Custom ReportMetric units parse like the built-ins.
+	if rep.Benchmarks[2].Metrics["steps"] != 2 {
+		t.Fatalf("custom metric: %+v", rep.Benchmarks[2].Metrics)
+	}
+}
+
+func TestParseSkipsMalformedLines(t *testing.T) {
+	in := `BenchmarkBroken  notanumber  10 ns/op
+BenchmarkAlsoBroken
+BenchmarkOK-4  7  10 ns/op
+`
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkOK" {
+		t.Fatalf("parsed %+v, want only BenchmarkOK", rep.Benchmarks)
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkX-8", "BenchmarkX", 8},
+		{"BenchmarkX", "BenchmarkX", 1},
+		{"BenchmarkX/n=5-1-16", "BenchmarkX/n=5-1", 16},
+		{"BenchmarkX-", "BenchmarkX-", 1},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}

@@ -59,21 +59,32 @@ func run() error {
 		}
 	}
 
-	// Write through different replicas: the SMR layer funnels every command
-	// through the consensus log regardless of entry point.
+	// Write through an external client session: the client assigns
+	// sequence numbers, retransmits on timeout, and returns each result
+	// once f+1 replicas confirm it. Replicas deduplicate by (client, seq),
+	// so retransmitted requests execute exactly once.
+	cl, err := fastbft.NewKVClient("demo-client", 0, reps...)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cl.Close() }()
 	writes := map[string]string{
 		"color":  "green",
 		"fruit":  "kiwi",
 		"planet": "mars",
 		"tree":   "oak",
 	}
-	i := 0
 	for k, v := range writes {
-		if err := reps[i%cfg.N].Set(k, v); err != nil {
+		res, err := cl.Set(k, v)
+		if err != nil {
 			return err
 		}
-		i++
+		if res != v {
+			return fmt.Errorf("client write %s: confirmed %q, want %q", k, res, v)
+		}
 	}
+	fmt.Printf("client session %q: %d writes confirmed by f+1 replicas each\n",
+		"demo-client", cl.Seq())
 
 	// Wait for every replica to apply every write.
 	deadline := time.Now().Add(time.Minute)

@@ -219,6 +219,89 @@ func TestKVReplicaCluster(t *testing.T) {
 	}
 }
 
+// TestKVClientSessions drives a TCP KVReplica cluster through the external
+// client API: sequence numbers are assigned per session, results come back
+// confirmed by f+1 replicas, and every replica holds exactly one session
+// for the client afterwards.
+func TestKVClientSessions(t *testing.T) {
+	cfg := GeneralizedConfig(1, 1)
+	keys := GenerateTestKeys(cfg.N, 9)
+	reps := make([]*KVReplica, cfg.N)
+	addrs := make([]string, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		r, err := NewKVReplica(KVReplicaConfig{
+			Cluster:    cfg,
+			Self:       ProcessID(i),
+			Keys:       keys,
+			ListenAddr: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = r
+		addrs[i] = r.Addr()
+	}
+	defer func() {
+		for _, r := range reps {
+			_ = r.Close()
+		}
+	}()
+	for _, r := range reps {
+		if err := r.SetPeers(addrs); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c, err := NewKVClient("alice", 0, reps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	if res, err := c.Set("color", "green"); err != nil || res != "green" {
+		t.Fatalf("set: res=%q err=%v", res, err)
+	}
+	if res, err := c.Set("fruit", "kiwi"); err != nil || res != "kiwi" {
+		t.Fatalf("set: res=%q err=%v", res, err)
+	}
+	if res, err := c.Delete("color"); err != nil || res != "green" {
+		t.Fatalf("delete: removed=%q err=%v (want the removed value back)", res, err)
+	}
+	if c.Seq() != 3 {
+		t.Fatalf("session assigned %d sequence numbers, want 3", c.Seq())
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		done := true
+		for _, r := range reps {
+			if r.AppliedOps() < 3 {
+				done = false
+			}
+		}
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i, r := range reps {
+		if v, ok := r.Get("fruit"); !ok || v != "kiwi" {
+			t.Fatalf("replica %d: fruit=%q (present=%v)", i, v, ok)
+		}
+		if _, ok := r.Get("color"); ok {
+			t.Fatalf("replica %d: deleted key survived", i)
+		}
+		if n := r.AppliedOps(); n != 3 {
+			t.Fatalf("replica %d applied %d ops, want exactly 3", i, n)
+		}
+		if n := r.SessionCount(); n != 1 {
+			t.Fatalf("replica %d holds %d sessions, want 1", i, n)
+		}
+	}
+}
+
 func TestGenerateKeys(t *testing.T) {
 	keys, err := GenerateKeys(4)
 	if err != nil {

@@ -1,0 +1,221 @@
+package client
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sigcrypto"
+	"repro/internal/smr"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// buildGroup wires n SMR replicas over an in-memory network.
+func buildGroup(t *testing.T, cfg types.Config, seed int64) ([]*smr.Replica, []*smr.KVStore, func()) {
+	t.Helper()
+	scheme := sigcrypto.NewHMAC(cfg.N, seed)
+	net := transport.NewMemNetwork(cfg.N, 0)
+	reps := make([]*smr.Replica, cfg.N)
+	stores := make([]*smr.KVStore, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		pid := types.ProcessID(i)
+		stores[i] = smr.NewKVStore()
+		r, err := smr.NewReplica(smr.Config{
+			Cluster:     cfg,
+			Self:        pid,
+			Signer:      scheme.Signer(pid),
+			Verifier:    scheme.Verifier(),
+			Transport:   net.Transport(pid),
+			App:         stores[i],
+			BaseTimeout: 200 * time.Millisecond,
+			MaxBatch:    4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = r
+	}
+	for _, r := range reps {
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reps, stores, func() {
+		for _, r := range reps {
+			_ = r.Close()
+		}
+		_ = net.Close()
+	}
+}
+
+func kvSet(key, value string) []byte {
+	return smr.EncodeKV(smr.KVCommand{Op: smr.OpSet, Key: key, Value: value})
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	reps, stores, cleanup := buildGroup(t, cfg, 11)
+	defer cleanup()
+
+	c, err := New(Config{Cluster: cfg, ID: "alice", Timeout: 300 * time.Millisecond}, NewLocal(reps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	const ops = 6
+	for i := 0; i < ops; i++ {
+		key, value := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+		res, err := c.Execute(kvSet(key, value))
+		if err != nil {
+			t.Fatalf("execute %d: %v", i, err)
+		}
+		// The KV app echoes the stored value; f+1 replicas agreed on it.
+		if string(res) != value {
+			t.Fatalf("execute %d: result %q, want %q", i, res, value)
+		}
+	}
+	if c.Seq() != ops {
+		t.Fatalf("client assigned %d sequence numbers, want %d", c.Seq(), ops)
+	}
+
+	// Every replica converges to the writes, executed exactly once each.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		done := true
+		for _, st := range stores {
+			if st.AppliedOps() < ops {
+				done = false
+			}
+		}
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i, st := range stores {
+		if st.AppliedOps() != ops {
+			t.Fatalf("replica %d applied %d ops, want exactly %d", i, st.AppliedOps(), ops)
+		}
+		for k := 0; k < ops; k++ {
+			if v, ok := st.Get(fmt.Sprintf("k%d", k)); !ok || v != fmt.Sprintf("v%d", k) {
+				t.Fatalf("replica %d: k%d=%q (present=%v)", i, k, v, ok)
+			}
+		}
+	}
+	// One client drove everything: each replica holds exactly one session.
+	for i, r := range reps {
+		if n := r.SessionCount(); n != 1 {
+			t.Fatalf("replica %d holds %d sessions, want 1", i, n)
+		}
+		if seq, ok := r.SessionSeq("alice"); !ok || seq != ops {
+			t.Fatalf("replica %d: alice seq=%d ok=%v, want %d", i, seq, ok, ops)
+		}
+	}
+}
+
+// TestClientFailsOverFromDeadEntryReplica points the client's entry at a
+// crashed replica: the send to the entry fails, but the submission also
+// reaches the surviving replicas (still above every quorum for n=4, f=1),
+// which commit it and answer with f+1 matching replies; the session then
+// redirects its entry to a replica that answered.
+func TestClientFailsOverFromDeadEntryReplica(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	reps, _, cleanup := buildGroup(t, cfg, 12)
+	defer cleanup()
+
+	dead := types.ProcessID(0)
+	if err := reps[dead].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := New(Config{
+		Cluster: cfg, ID: "bob", Entry: dead, Timeout: 300 * time.Millisecond,
+	}, NewLocal(reps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	res, err := c.Execute(kvSet("x", "1"))
+	if err != nil {
+		t.Fatalf("execute with dead entry replica: %v", err)
+	}
+	if string(res) != "1" {
+		t.Fatalf("result %q, want %q", res, "1")
+	}
+	// The session redirected to a live entry replica; the next request
+	// succeeds too.
+	if res, err = c.Execute(kvSet("y", "2")); err != nil || string(res) != "2" {
+		t.Fatalf("post-redirect execute: res=%q err=%v", res, err)
+	}
+}
+
+// TestFirstRequestNeedsNoTimeoutRound: a fresh session's first request
+// must settle from the initial submission — replicas only reply to clients
+// that contacted them, so the first round has to reach enough of them for
+// an f+1 quorum rather than burning a full timeout on an entry-only send.
+func TestFirstRequestNeedsNoTimeoutRound(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	reps, _, cleanup := buildGroup(t, cfg, 13)
+	defer cleanup()
+
+	c, err := New(Config{Cluster: cfg, ID: "dave", Timeout: 30 * time.Second}, NewLocal(reps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	start := time.Now()
+	if _, err := c.Execute(kvSet("first", "1")); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 10*time.Second {
+		t.Fatalf("first request took %v: it waited for a retransmission round", took)
+	}
+}
+
+// TestClientRejectsBadConfig covers constructor validation.
+func TestClientRejectsBadConfig(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	tr := NewLocal(nil)
+	if _, err := New(Config{Cluster: cfg, ID: ""}, tr); err == nil {
+		t.Fatal("empty client id accepted")
+	}
+	if _, err := New(Config{Cluster: cfg, ID: "x"}, nil); err == nil {
+		t.Fatal("nil transport accepted")
+	}
+	if _, err := New(Config{Cluster: types.Config{N: 1}, ID: "x"}, tr); err == nil {
+		t.Fatal("invalid cluster accepted")
+	}
+}
+
+// TestClosedClientUnblocksExecute: Close must release a blocked Execute.
+func TestClosedClientUnblocksExecute(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	// No replicas at all: Execute can never complete.
+	c, err := New(Config{
+		Cluster: cfg, ID: "carol", Timeout: 50 * time.Millisecond, Retries: 1000,
+	}, NewLocal(make([]*smr.Replica, cfg.N)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Execute([]byte("op"))
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("blocked execute returned %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("execute still blocked after Close")
+	}
+}

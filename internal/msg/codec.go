@@ -69,6 +69,16 @@ func Encode(m Message) []byte {
 			w.Uvarint(td.Slot)
 			td.CC.encode(w)
 		}
+	case *Request:
+		w.BytesField([]byte(t.Client))
+		w.Uvarint(t.Seq)
+		w.BytesField(t.Op)
+	case *Reply:
+		w.BytesField([]byte(t.Client))
+		w.Uvarint(t.Seq)
+		w.Uvarint(t.Slot)
+		w.Int32(int32(t.Replica))
+		w.BytesField(t.Result)
 	default:
 		// Unreachable for messages defined in this package; a zero-length
 		// buffer fails decoding loudly on the other side.
@@ -180,6 +190,20 @@ func Decode(buf []byte) (Message, error) {
 			t.Tail = append(t.Tail, td)
 		}
 		m = t
+	case KindRequest:
+		t := &Request{}
+		t.Client = decodeClientID(r)
+		t.Seq = r.Uvarint()
+		t.Op = r.BytesField()
+		m = t
+	case KindReply:
+		t := &Reply{}
+		t.Client = decodeClientID(r)
+		t.Seq = r.Uvarint()
+		t.Slot = r.Uvarint()
+		t.Replica = types.ProcessID(r.Int32())
+		t.Result = r.BytesField()
+		m = t
 	default:
 		return nil, fmt.Errorf("msg: unknown kind %d", uint8(kind))
 	}
@@ -187,6 +211,17 @@ func Decode(buf []byte) (Message, error) {
 		return nil, fmt.Errorf("decode %s: %w", kind, err)
 	}
 	return m, nil
+}
+
+// decodeClientID reads a client identifier, enforcing MaxClientID (the
+// session table is keyed by these; see Request).
+func decodeClientID(r *wire.Reader) types.ClientID {
+	b := r.BytesField()
+	if len(b) > MaxClientID {
+		r.Fail(wire.ErrOverflow)
+		return ""
+	}
+	return types.ClientID(b)
 }
 
 func encodeSig(w *wire.Writer, s sigcrypto.Signature) {

@@ -46,6 +46,12 @@ const (
 	// KindStateSnapshot answers a FetchState with a certified checkpoint
 	// snapshot plus certified decisions for the slots after it.
 	KindStateSnapshot
+	// KindRequest is an external client's command submission; its canonical
+	// encoding doubles as the SMR command format (see Request).
+	KindRequest
+	// KindReply is a replica's response to an executed client request; f+1
+	// matching replies convince the client (see Reply).
+	KindReply
 )
 
 // String implements fmt.Stringer.
@@ -75,6 +81,10 @@ func (k Kind) String() string {
 		return "fetchstate"
 	case KindStateSnapshot:
 		return "statesnapshot"
+	case KindRequest:
+		return "request"
+	case KindReply:
+		return "reply"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

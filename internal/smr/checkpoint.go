@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/msg"
 	"repro/internal/sigcrypto"
@@ -14,7 +13,7 @@ import (
 
 // Checkpointing bounds the memory of the replicated log. Every
 // Config.CheckpointInterval applied slots a replica snapshots its state
-// (application snapshot plus the command-dedup set), signs the snapshot
+// (application snapshot plus the client session table), signs the snapshot
 // digest, and broadcasts a Checkpoint message. Once CertQuorum (f+1)
 // replicas sign the same (slot, digest) pair the checkpoint is stable: at
 // least one signer is correct and correct replicas compute the digest only
@@ -55,6 +54,9 @@ func (r *Replica) maybeCheckpointLocked() {
 		return
 	}
 	r.ckptDone = s + 1
+	// Prune inactive sessions before encoding: the rule is deterministic,
+	// so every replica's snapshot at this boundary stays byte-identical.
+	r.pruneSessionsLocked(s)
 	snap := r.encodeSnapshotLocked(s)
 	r.snaps[s] = snap
 	sum := sha256.Sum256(snap)
@@ -210,26 +212,20 @@ func (r *Replica) DecidedCount() int {
 // ---------------------------------------------------------------------------
 
 // encodeSnapshotLocked serializes the replica state after applying slot s:
-// the checkpoint slot, the command-dedup set (sorted, so the encoding is
-// deterministic across replicas), and the application snapshot. The caller
-// holds r.mu and must have r.applyPtr == s+1.
+// the checkpoint slot, the client session table (sorted, so the encoding is
+// deterministic across replicas), and the application snapshot. The session
+// table rides inside the certified snapshot so that replicas catching up
+// through state transfer reject replays exactly like replicas that applied
+// the whole log. The caller holds r.mu and must have r.applyPtr == s+1.
 func (r *Replica) encodeSnapshotLocked(s uint64) []byte {
-	cmds := make([]string, 0, len(r.applied))
-	for c := range r.applied {
-		cmds = append(cmds, c)
-	}
-	sort.Strings(cmds)
 	app := r.snapshotter.Snapshot()
 	size := 16 + len(app)
-	for _, c := range cmds {
-		size += len(c) + 5
+	for id, sess := range r.sessions {
+		size += len(id) + len(sess.lastReply) + 24
 	}
 	w := wire.NewWriter(size)
 	w.Uvarint(s)
-	w.Uvarint(uint64(len(cmds)))
-	for _, c := range cmds {
-		w.BytesField([]byte(c))
-	}
+	encodeSessions(w, r.sessions)
 	w.BytesField(app)
 	return w.Bytes()
 }
@@ -238,9 +234,9 @@ func (r *Replica) encodeSnapshotLocked(s uint64) []byte {
 // certificate claims.
 var errSnapshotMismatch = errors.New("smr: snapshot slot mismatch")
 
-// decodeSnapshot parses a composite snapshot, returning the dedup command
-// set and the application snapshot bytes.
-func decodeSnapshot(slot uint64, snap []byte) (map[string]bool, []byte, error) {
+// decodeSnapshot parses a composite snapshot, returning the client session
+// table and the application snapshot bytes.
+func decodeSnapshot(slot uint64, snap []byte) (map[types.ClientID]*session, []byte, error) {
 	rd := wire.NewReader(snap)
 	s := rd.Uvarint()
 	if err := rd.Err(); err != nil {
@@ -249,20 +245,13 @@ func decodeSnapshot(slot uint64, snap []byte) (map[string]bool, []byte, error) {
 	if s != slot {
 		return nil, nil, errSnapshotMismatch
 	}
-	n := rd.Uvarint()
-	if err := rd.Err(); err != nil {
+	sessions, err := decodeSessions(rd)
+	if err != nil {
 		return nil, nil, err
-	}
-	if n > uint64(rd.Remaining()) {
-		return nil, nil, wire.ErrOverflow
-	}
-	applied := make(map[string]bool, n)
-	for i := uint64(0); i < n; i++ {
-		applied[string(rd.BytesField())] = true
 	}
 	app := rd.BytesField()
 	if err := rd.Finish(); err != nil {
 		return nil, nil, fmt.Errorf("smr snapshot: %w", err)
 	}
-	return applied, app, nil
+	return sessions, app, nil
 }

@@ -384,9 +384,13 @@ func TestGarbageBatchDecidesSlotButAppliesNothing(t *testing.T) {
 	if _, err := DecodeBatch(garbage); err == nil {
 		t.Fatal("test value unexpectedly decodes as a batch")
 	}
+	// Slot 1 carries a batch holding one well-formed request (whose op is
+	// not a KV command) and one command that is not a request at all.
+	real := encodeRequest(&msg.Request{Client: "c", Seq: 1, Op: []byte("not-a-kv-op")})
+	junk := Command("just-bytes")
 	r.mu.Lock()
 	r.onDecideLocked(0, types.Decision{Value: garbage, View: 1, Path: types.FastPath})
-	r.onDecideLocked(1, types.Decision{Value: EncodeBatch([]Command{Command("real")}), View: 1, Path: types.FastPath})
+	r.onDecideLocked(1, types.Decision{Value: EncodeBatch([]Command{real, junk}), View: 1, Path: types.FastPath})
 	applied := r.applyPtr
 	r.mu.Unlock()
 
@@ -394,17 +398,15 @@ func TestGarbageBatchDecidesSlotButAppliesNothing(t *testing.T) {
 		t.Fatalf("apply frontier %d after two decided slots, want 2", applied)
 	}
 	if n := store.AppliedOps(); n != 0 {
-		t.Fatalf("garbage batch applied %d KV ops, want 0 (slot 1's command is not a KV command either)", n)
+		t.Fatalf("garbage batch applied %d KV ops, want 0 (the real request's op is not a KV command)", n)
 	}
-	r.mu.Lock()
-	okGarbage := r.applied[string(garbage)]
-	okReal := r.applied["real"]
-	r.mu.Unlock()
-	if okGarbage {
-		t.Fatal("garbage value recorded in the dedup set")
+	// The well-formed request consumed its sequence number (its session
+	// records the execution); the non-request bytes left no trace.
+	if seq, ok := r.SessionSeq("c"); !ok || seq != 1 {
+		t.Fatalf("session for client c: seq=%d ok=%v, want 1", seq, ok)
 	}
-	if !okReal {
-		t.Fatal("valid batched command missing from the dedup set")
+	if n := r.SessionCount(); n != 1 {
+		t.Fatalf("%d sessions recorded, want 1 (non-request bytes must not mint sessions)", n)
 	}
 }
 
@@ -426,17 +428,23 @@ func TestSnapshotCodecRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.mu.Lock()
-	r.applied["cmd-a"] = true
-	r.applied["cmd-b"] = true
+	r.sessions["alice"] = &session{lastSeq: 9, lastSlot: 5, lastReply: []byte("res-a")}
+	r.sessions["bob"] = &session{lastSeq: 2, lastSlot: 7, lastReply: nil}
 	snap := r.encodeSnapshotLocked(7)
 	r.mu.Unlock()
 
-	applied, app, err := decodeSnapshot(7, snap)
+	sessions, app, err := decodeSnapshot(7, snap)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(applied) != 2 || !applied["cmd-a"] || !applied["cmd-b"] {
-		t.Fatalf("dedup set round trip: %v", applied)
+	if len(sessions) != 2 {
+		t.Fatalf("session table round trip: %d entries", len(sessions))
+	}
+	if s := sessions["alice"]; s == nil || s.lastSeq != 9 || s.lastSlot != 5 || string(s.lastReply) != "res-a" {
+		t.Fatalf("alice session round trip: %+v", sessions["alice"])
+	}
+	if s := sessions["bob"]; s == nil || s.lastSeq != 2 || s.lastSlot != 7 || len(s.lastReply) != 0 {
+		t.Fatalf("bob session round trip: %+v", sessions["bob"])
 	}
 	restored := NewKVStore()
 	if err := restored.Restore(app); err != nil {
@@ -496,7 +504,7 @@ func TestCheckpointRequiresSnapshotter(t *testing.T) {
 
 type plainApp struct{}
 
-func (plainApp) Apply(uint64, Command) {}
+func (plainApp) Apply(uint64, Command) []byte { return nil }
 
 // TestSlotSaltedSignaturesRejectCrossSlotReplay: a commit certificate
 // assembled in one slot's signing domain must not verify in another slot's

@@ -73,22 +73,28 @@ func NewKVStore() *KVStore {
 	return &KVStore{data: make(map[string]string)}
 }
 
-// Apply implements App.
-func (kv *KVStore) Apply(slot uint64, cmd Command) {
+// Apply implements App. The result — echoed value for a set, the removed
+// value for a delete — is a deterministic function of state and command, as
+// the reply cache requires.
+func (kv *KVStore) Apply(slot uint64, cmd Command) []byte {
 	c, err := DecodeKV(cmd)
 	if err != nil {
-		return // unknown commands are ignored, not fatal
+		return nil // unknown commands are ignored, not fatal
 	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	kv.applied++
+	_ = slot
 	switch c.Op {
 	case OpSet:
 		kv.data[c.Key] = c.Value
+		return []byte(c.Value)
 	case OpDel:
+		prev := kv.data[c.Key]
 		delete(kv.data, c.Key)
+		return []byte(prev)
 	}
-	_ = slot
+	return nil
 }
 
 // Get returns the value for key.

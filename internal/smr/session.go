@@ -1,0 +1,324 @@
+package smr
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/msg"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Client sessions bound the memory of exactly-once execution. Every command
+// that flows through the log is an encoded msg.Request carrying a
+// (client, seq) pair; each replica keeps one session per client — the
+// highest executed sequence number, the slot it executed in, and the cached
+// result — so the dedup structure is O(active clients) instead of O(total
+// commands ever executed), and a retransmitted committed request is answered
+// from the reply cache without re-executing.
+//
+// The session table is replicated state: it is updated only by the apply
+// loop (a deterministic function of the decided log), carried inside every
+// checkpoint snapshot, and pruned at checkpoint boundaries by a
+// deterministic inactivity rule — so replicas that catch up through state
+// transfer accept and reject replays exactly like replicas that applied the
+// whole log.
+
+// session is one client's execution state.
+type session struct {
+	lastSeq   uint64 // highest executed sequence number
+	lastSlot  uint64 // slot in which lastSeq executed (drives pruning)
+	lastReply []byte // cached result of lastSeq, served to retransmissions
+}
+
+// ReplyFunc receives the reply to a request submitted with HandleRequest.
+// It is invoked on its own goroutine, once per executed request of the
+// client (and immediately for retransmissions answered from the cache).
+type ReplyFunc func(*msg.Reply)
+
+// sessionRetentionIntervals is how many checkpoint intervals a session
+// survives without executing anything before the checkpoint prunes it. The
+// rule is deterministic — all replicas prune the same sessions at the same
+// boundary, and snapshots stay byte-identical — and it is what bounds the
+// table by *active* clients: a departed client's session costs memory for at
+// most two intervals. The flip side is a bounded dedup horizon: a request
+// retransmitted more than two intervals after its client's last execution
+// may re-execute, so clients must not sleep on an unacknowledged request.
+const sessionRetentionIntervals = 2
+
+// Request validation errors.
+var (
+	errEmptyRequest  = errors.New("smr: empty request operation")
+	errEmptyClient   = errors.New("smr: empty client id")
+	errClientTooLong = fmt.Errorf("smr: client id exceeds %d bytes", msg.MaxClientID)
+	errZeroSeq       = errors.New("smr: request sequence numbers start at 1")
+)
+
+// encodeRequest renders a client request as SMR command bytes: the canonical
+// msg encoding, so identical requests encode identically everywhere.
+func encodeRequest(req *msg.Request) Command {
+	return Command(msg.Encode(req))
+}
+
+// decodeRequest parses SMR command bytes back into a request. Commands that
+// are not well-formed requests (a Byzantine leader can batch arbitrary
+// bytes) decode to (nil, false) and are skipped by the apply loop.
+func decodeRequest(cmd Command) (*msg.Request, bool) {
+	m, err := msg.Decode(cmd)
+	if err != nil {
+		return nil, false
+	}
+	req, ok := m.(*msg.Request)
+	if !ok || len(req.Client) == 0 || req.Seq == 0 {
+		return nil, false
+	}
+	return req, true
+}
+
+// syntheticClient derives a single-use session identity from command
+// content, for commands submitted through the legacy Submit API: identical
+// bytes submitted through any replica map to the same (client, seq) and so
+// still execute exactly once. The "#" prefix keeps the namespace visibly
+// apart from real client identifiers.
+func syntheticClient(cmd Command) types.ClientID {
+	sum := sha256.Sum256(cmd)
+	return types.ClientID("#" + hex.EncodeToString(sum[:12]))
+}
+
+// HandleRequest ingests one external client request:
+//
+//   - a request at or below the client's executed high-water mark never
+//     reaches a proposal batch: a retransmission of the last executed
+//     request is answered immediately from the reply cache, anything older
+//     is dropped (the client has already moved on);
+//   - a fresh request is queued for proposal, forwarded to every replica so
+//     the next slot's leader can pack it, and answered through reply once it
+//     executes.
+//
+// reply may be nil (fire-and-forget). A client must keep at most one
+// request in flight per session: sequence numbers are executed in log
+// order, and a lower sequence number committing after a higher one is
+// rejected as stale.
+func (r *Replica) HandleRequest(req *msg.Request, reply ReplyFunc) error {
+	if req == nil || len(req.Op) == 0 {
+		return errEmptyRequest
+	}
+	if len(req.Client) == 0 {
+		return errEmptyClient
+	}
+	if len(req.Client) > msg.MaxClientID {
+		return errClientTooLong
+	}
+	if req.Seq == 0 {
+		return errZeroSeq
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return transport.ErrClosed
+	}
+	if sess := r.sessions[req.Client]; sess != nil && req.Seq <= sess.lastSeq {
+		// Stale: reject before it ever enters a proposal batch. Serve the
+		// cached reply for an exact retransmission of the last execution.
+		var cached *msg.Reply
+		if reply != nil && req.Seq == sess.lastSeq {
+			cached = r.cachedReplyLocked(req.Client, sess)
+		}
+		r.mu.Unlock()
+		if cached != nil {
+			reply(cached)
+		}
+		return nil
+	}
+	if reply != nil {
+		r.replyTo[req.Client] = reply
+	}
+	enc := encodeRequest(req)
+	r.enqueueRequestLocked(req, enc)
+	// Forward to every replica so the next slot's leader can propose it.
+	w := wire.NewWriter(len(enc) + 10)
+	w.Uvarint(ctrlSlot)
+	_ = r.cfg.Transport.Broadcast(append(w.Bytes(), enc...))
+	r.ensureSlotLocked(r.next)
+	r.mu.Unlock()
+	return nil
+}
+
+// cachedReplyLocked materializes the cached last reply of a session. The
+// caller holds r.mu.
+func (r *Replica) cachedReplyLocked(c types.ClientID, sess *session) *msg.Reply {
+	return &msg.Reply{
+		Client:  c,
+		Seq:     sess.lastSeq,
+		Slot:    sess.lastSlot,
+		Replica: r.cfg.Self,
+		Result:  append([]byte(nil), sess.lastReply...),
+	}
+}
+
+// staleLocked reports whether the session table proves req already executed
+// (or was superseded). The caller holds r.mu.
+func (r *Replica) staleLocked(req *msg.Request) bool {
+	sess := r.sessions[req.Client]
+	return sess != nil && req.Seq <= sess.lastSeq
+}
+
+// enqueueRequestLocked queues an encoded request for proposal unless it is
+// stale or already queued. The caller holds r.mu.
+func (r *Replica) enqueueRequestLocked(req *msg.Request, enc Command) {
+	if r.staleLocked(req) {
+		return
+	}
+	for _, p := range r.pending {
+		if p.Equal(enc) {
+			return
+		}
+	}
+	r.pending = append(r.pending, enc.Clone())
+}
+
+// compactPendingLocked drops queued commands the session table has since
+// proven stale, so they never enter a proposal batch (a command can go stale
+// while queued: the same request commits through another replica's batch
+// under different bytes, or a later sequence number of the client commits
+// first). The caller holds r.mu.
+func (r *Replica) compactPendingLocked() {
+	kept := r.pending[:0]
+	for _, p := range r.pending {
+		if req, ok := decodeRequest(p); ok && r.staleLocked(req) {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	for i := len(kept); i < len(r.pending); i++ {
+		r.pending[i] = nil // release dropped tails
+	}
+	r.pending = kept
+}
+
+// executeRequestLocked runs one decided command through the session table:
+// skip it if it is not a well-formed request or its session proves it
+// already executed; otherwise apply it, record the new high-water mark,
+// cache the reply, and dispatch it to the client if one is connected here.
+// The caller holds r.mu; slot is the log slot being applied.
+func (r *Replica) executeRequestLocked(slot uint64, cmd Command) {
+	req, ok := decodeRequest(cmd)
+	if !ok {
+		return
+	}
+	r.dropPending(cmd)
+	if r.staleLocked(req) {
+		return
+	}
+	result := r.cfg.App.Apply(slot, Command(req.Op).Clone())
+	sess := r.sessions[req.Client]
+	if sess == nil {
+		sess = &session{}
+		r.sessions[req.Client] = sess
+	}
+	sess.lastSeq = req.Seq
+	sess.lastSlot = slot
+	sess.lastReply = result
+	if cb := r.replyTo[req.Client]; cb != nil {
+		rep := r.cachedReplyLocked(req.Client, sess)
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			cb(rep)
+		}()
+	}
+}
+
+// pruneSessionsLocked drops sessions that executed nothing for at least
+// sessionRetentionIntervals checkpoint intervals before the checkpoint slot.
+// It runs at every checkpoint emission boundary, before the snapshot is
+// encoded, and depends only on replicated state — so every correct replica
+// prunes identically and snapshots stay byte-identical. The caller holds
+// r.mu.
+func (r *Replica) pruneSessionsLocked(ckptSlot uint64) {
+	horizon := sessionRetentionIntervals * r.interval
+	if ckptSlot < horizon {
+		return
+	}
+	cut := ckptSlot - horizon
+	for id, sess := range r.sessions {
+		if sess.lastSlot <= cut {
+			delete(r.sessions, id)
+			delete(r.replyTo, id)
+		}
+	}
+}
+
+// SessionCount returns the number of live client sessions (test/metrics
+// hook: it stays O(active clients) regardless of how many commands the log
+// has executed).
+func (r *Replica) SessionCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// SessionSeq returns a client's executed sequence high-water mark.
+func (r *Replica) SessionSeq(c types.ClientID) (uint64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sess, ok := r.sessions[c]
+	if !ok {
+		return 0, false
+	}
+	return sess.lastSeq, true
+}
+
+// ---------------------------------------------------------------------------
+// Session-table snapshot codec
+// ---------------------------------------------------------------------------
+
+// encodeSessions appends the session table in sorted client order, so the
+// encoding is deterministic across replicas.
+func encodeSessions(w *wire.Writer, sessions map[types.ClientID]*session) {
+	ids := make([]string, 0, len(sessions))
+	for id := range sessions {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	w.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		sess := sessions[types.ClientID(id)]
+		w.BytesField([]byte(id))
+		w.Uvarint(sess.lastSeq)
+		w.Uvarint(sess.lastSlot)
+		w.BytesField(sess.lastReply)
+	}
+}
+
+// decodeSessions parses a session table encoded by encodeSessions.
+func decodeSessions(rd *wire.Reader) (map[types.ClientID]*session, error) {
+	n := rd.Uvarint()
+	if err := rd.Err(); err != nil {
+		return nil, err
+	}
+	if n > uint64(rd.Remaining()) {
+		return nil, wire.ErrOverflow
+	}
+	sessions := make(map[types.ClientID]*session, n)
+	for i := uint64(0); i < n; i++ {
+		id := rd.BytesField()
+		if len(id) > msg.MaxClientID {
+			return nil, wire.ErrOverflow
+		}
+		sess := &session{
+			lastSeq:   rd.Uvarint(),
+			lastSlot:  rd.Uvarint(),
+			lastReply: rd.BytesField(),
+		}
+		if err := rd.Err(); err != nil {
+			return nil, err
+		}
+		sessions[types.ClientID(id)] = sess
+	}
+	return sessions, nil
+}

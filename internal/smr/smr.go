@@ -5,10 +5,15 @@
 //
 // Each log slot is one independent consensus instance (a core.Process); all
 // instances of a replica share one transport, with payloads tagged by slot
-// number, and one wall clock. Slots are decided and applied in order;
-// commands are deduplicated by content, so clients must make commands
-// unique (the bundled command codec includes a client identifier and
-// sequence number).
+// number, and one wall clock. Slots are decided and applied in order.
+//
+// Every command is an encoded msg.Request carrying a (client, sequence)
+// pair; replicas deduplicate by per-client session tables (see session.go),
+// cache the last reply per client for retransmissions, and prune inactive
+// sessions at checkpoint boundaries — so dedup memory is bounded by active
+// clients, not by log length. External clients submit through HandleRequest
+// (see internal/client for a full retransmitting client); Submit wraps raw
+// bytes in a synthetic content-derived session for backward compatibility.
 package smr
 
 import (
@@ -43,9 +48,12 @@ const syncSlot = ^uint64(0) - 1
 
 // App consumes decided commands in slot order.
 type App interface {
-	// Apply executes one decided command. Empty commands (no-ops) are not
-	// passed to the application.
-	Apply(slot uint64, cmd Command)
+	// Apply executes one decided command and returns its result. Empty
+	// commands (no-ops) are not passed to the application. The result is
+	// cached in the submitting client's session and served to
+	// retransmissions, so it must be a deterministic function of the
+	// replicated state and the command; nil is a valid result.
+	Apply(slot uint64, cmd Command) []byte
 }
 
 // CommitFunc observes every decided slot (including no-ops), after the
@@ -98,7 +106,8 @@ type Replica struct {
 	start    time.Time
 	slots    map[uint64]*slot
 	decided  map[uint64]types.Decision
-	applied  map[string]bool
+	sessions map[types.ClientID]*session  // per-client dedup + reply cache
+	replyTo  map[types.ClientID]ReplyFunc // local reply routes (not replicated)
 	pending  []Command
 	next     uint64 // lowest slot not yet decided locally
 	applyPtr uint64 // lowest slot not yet applied
@@ -157,7 +166,8 @@ func NewReplica(cfg Config) (*Replica, error) {
 		snapshotter: snapper,
 		slots:       make(map[uint64]*slot),
 		decided:     make(map[uint64]types.Decision),
-		applied:     make(map[string]bool),
+		sessions:    make(map[types.ClientID]*session),
+		replyTo:     make(map[types.ClientID]ReplyFunc),
 		certs:       make(map[uint64]*msg.CommitCert),
 		ckptVotes:   make(map[types.ProcessID][]*msg.Checkpoint),
 		snaps:       make(map[uint64][]byte),
@@ -203,38 +213,21 @@ func (r *Replica) Close() error {
 // Submit queues a command for replication. The command is proposed in the
 // next available slot this replica leads or participates in; it stays
 // queued until some slot decides it.
+//
+// Submit wraps the bytes in a synthetic single-use session whose identity
+// derives from the command content, so identical bytes submitted through any
+// replica still execute exactly once. The dedup horizon of synthetic
+// sessions is bounded by checkpoint pruning (see sessionRetentionIntervals);
+// clients that need replies or durable sessions use HandleRequest.
 func (r *Replica) Submit(cmd Command) error {
 	if len(cmd) == 0 {
 		return errors.New("smr: empty command")
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
-		return transport.ErrClosed
-	}
-	if r.applied[string(cmd)] {
-		return nil // already decided and applied
-	}
-	r.addPendingLocked(cmd)
-	// Forward to every replica so the next slot's leader can propose it.
-	w := wire.NewWriter(len(cmd) + 10)
-	w.Uvarint(ctrlSlot)
-	_ = r.cfg.Transport.Broadcast(append(w.Bytes(), cmd...))
-	r.ensureSlotLocked(r.next)
-	return nil
-}
-
-// addPendingLocked queues a command unless it was applied or is queued.
-func (r *Replica) addPendingLocked(cmd Command) {
-	if r.applied[string(cmd)] {
-		return
-	}
-	for _, p := range r.pending {
-		if p.Equal(cmd) {
-			return
-		}
-	}
-	r.pending = append(r.pending, cmd.Clone())
+	return r.HandleRequest(&msg.Request{
+		Client: syntheticClient(cmd),
+		Seq:    1,
+		Op:     []byte(cmd),
+	}, nil)
 }
 
 // Decided returns the decision for a slot, if any.
@@ -315,6 +308,10 @@ func (r *Replica) ensureSlotLocked(s uint64) *slot {
 	if s < r.next || s >= r.next+uint64(r.cfg.WindowSize) {
 		return nil
 	}
+	// Stale queued requests must never enter a proposal batch: a Byzantine
+	// (or merely slow) client retransmitting executed requests must not be
+	// able to bloat batches with replays.
+	r.compactPendingLocked()
 	input := types.Value(nil)
 	if len(r.pending) > 0 {
 		k := len(r.pending)
@@ -351,10 +348,13 @@ func (r *Replica) onPayload(from types.ProcessID, payload []byte) {
 		return
 	}
 	if s == ctrlSlot {
-		if len(inner) == 0 {
+		// A forwarded client request; queue it for proposal unless the
+		// session table already proves it executed.
+		req, ok := decodeRequest(Command(inner))
+		if !ok {
 			return
 		}
-		r.addPendingLocked(Command(inner))
+		r.enqueueRequestLocked(req, Command(inner))
 		if len(r.pending) > 0 {
 			r.ensureSlotLocked(r.next)
 		}
@@ -477,9 +477,10 @@ func (r *Replica) advanceLocked() {
 		}
 		r.next++
 	}
-	// Apply decided slots in order. Each slot value is a batch; commands
-	// already applied through an earlier slot are skipped, so resubmissions
-	// and overlapping batches stay idempotent.
+	// Apply decided slots in order. Each slot value is a batch of encoded
+	// requests; the session table skips requests already executed through
+	// an earlier slot, so resubmissions and overlapping batches stay
+	// idempotent (exactly-once per (client, seq)).
 	for {
 		dd, ok := r.decided[r.applyPtr]
 		if !ok {
@@ -490,12 +491,7 @@ func (r *Replica) advanceLocked() {
 				if len(cmd) == 0 {
 					continue
 				}
-				r.dropPending(cmd)
-				if r.applied[string(cmd)] {
-					continue
-				}
-				r.applied[string(cmd)] = true
-				r.cfg.App.Apply(r.applyPtr, cmd.Clone())
+				r.executeRequestLocked(r.applyPtr, cmd)
 			}
 		}
 		if r.cfg.OnCommit != nil {
@@ -521,7 +517,9 @@ func (r *Replica) advanceLocked() {
 			delete(r.slots, num)
 		}
 	}
-	// Keep replicating while commands are queued.
+	// Keep replicating while fresh commands are queued (compaction first:
+	// a queue holding only stale replays must not spin up no-op slots).
+	r.compactPendingLocked()
 	if len(r.pending) > 0 {
 		r.ensureSlotLocked(r.next)
 	}

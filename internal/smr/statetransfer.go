@@ -231,22 +231,18 @@ func (r *Replica) onStateSnapshotLocked(from types.ProcessID, m *msg.StateSnapsh
 // The caller holds r.mu; the snapshot digest has been verified against cert.
 func (r *Replica) restoreLocked(cert *msg.CheckpointCert, snap []byte) {
 	s := cert.CP.Slot
-	applied, app, err := decodeSnapshot(s, snap)
+	sessions, app, err := decodeSnapshot(s, snap)
 	if err != nil {
 		return // certified digest but malformed layout: not a correct snapshot
 	}
 	if err := r.snapshotter.Restore(app); err != nil {
 		return
 	}
-	r.applied = applied
-	// Drop queued commands the snapshot proves were already applied.
-	kept := r.pending[:0]
-	for _, p := range r.pending {
-		if !applied[string(p)] {
-			kept = append(kept, p)
-		}
-	}
-	r.pending = kept
+	r.sessions = sessions
+	// Drop queued requests the restored session table proves stale, so a
+	// caught-up replica rejects replays exactly like one that applied the
+	// whole log.
+	r.compactPendingLocked()
 	r.applyPtr = s + 1
 	if r.next < r.applyPtr {
 		r.next = r.applyPtr

@@ -31,6 +31,15 @@ func (p ProcessID) Valid(n int) bool {
 	return p >= 0 && int(p) < n
 }
 
+// ClientID identifies an external client session at the SMR layer. Client
+// identifiers are opaque strings chosen by clients; replicas key their
+// session tables (per-client sequence high-water mark and cached last reply)
+// by ClientID, so a client that reuses an identifier continues its session.
+type ClientID string
+
+// String implements fmt.Stringer.
+func (c ClientID) String() string { return string(c) }
+
 // View is a view number. Views start at 1; view 0 is never entered and the
 // zero value means "no view" (used for nil votes).
 type View uint64

@@ -118,6 +118,11 @@ func (r *Reader) fail(err error) {
 	}
 }
 
+// Fail records err as the reader's sticky error (first failure wins), for
+// decoders that enforce constraints beyond what the primitive readers check
+// (e.g. domain-specific length limits).
+func (r *Reader) Fail(err error) { r.fail(err) }
+
 // ErrNonCanonical indicates an input that decodes to a value whose canonical
 // encoding differs (e.g. a padded varint). Such inputs are rejected so that
 // no two byte strings decode to the same message — signed digests must be

@@ -5,7 +5,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/msg"
 	"repro/internal/node"
 	"repro/internal/smr"
 	"repro/internal/transport"
@@ -127,6 +129,8 @@ type KVReplicaConfig struct {
 // KVReplica is one member of the replicated key-value store: the SMR layer
 // of internal/smr running the paper's protocol per log slot.
 type KVReplica struct {
+	cluster Config
+	self    ProcessID
 	tr      *transport.TCPTransport
 	replica *smr.Replica
 	store   *smr.KVStore
@@ -180,6 +184,8 @@ func NewKVReplica(cfg KVReplicaConfig) (*KVReplica, error) {
 		return nil, err
 	}
 	return &KVReplica{
+		cluster: cfg.Cluster,
+		self:    cfg.Self,
 		tr:      tr,
 		replica: rep,
 		store:   store,
@@ -199,19 +205,62 @@ func (r *KVReplica) Start() error { return r.replica.Start() }
 // Close stops the replica.
 func (r *KVReplica) Close() error { return r.replica.Close() }
 
-// Set replicates a key/value write through the log.
+// Set replicates a key/value write through the log, fire-and-forget, under
+// the replica's own client session. Use NewKVClient for replies and
+// end-to-end confirmation.
 func (r *KVReplica) Set(key, value string) error {
-	return r.replica.Submit(smr.EncodeKV(smr.KVCommand{
-		Op: smr.OpSet, Client: r.client, Seq: r.seq.Add(1), Key: key, Value: value,
-	}))
+	return r.HandleRequest(r.client, r.seq.Add(1),
+		smr.EncodeKV(smr.KVCommand{Op: smr.OpSet, Key: key, Value: value}), nil)
 }
 
-// Delete replicates a key removal through the log.
+// Delete replicates a key removal through the log, fire-and-forget, under
+// the replica's own client session.
 func (r *KVReplica) Delete(key string) error {
-	return r.replica.Submit(smr.EncodeKV(smr.KVCommand{
-		Op: smr.OpDel, Client: r.client, Seq: r.seq.Add(1), Key: key,
-	}))
+	return r.HandleRequest(r.client, r.seq.Add(1),
+		smr.EncodeKV(smr.KVCommand{Op: smr.OpDel, Key: key}), nil)
 }
+
+// ClientReply is a replica's response to an executed client request.
+type ClientReply struct {
+	// Client and Seq identify the request within its session.
+	Client string
+	Seq    uint64
+	// Slot is the log slot the request executed in.
+	Slot uint64
+	// Replica is the responding replica; a client trusts a result once f+1
+	// distinct replicas report it.
+	Replica ProcessID
+	// Result is the application's result bytes.
+	Result []byte
+}
+
+// HandleRequest submits one external client request to this replica's
+// session layer: requests are deduplicated by (clientID, seq) with a
+// per-client executed high-water mark, a retransmission of the last
+// executed request is answered from the reply cache without re-execution,
+// and onReply (optional) receives the reply once the request executes.
+// Sequence numbers start at 1 and must increase within a session.
+func (r *KVReplica) HandleRequest(clientID string, seq uint64, op []byte, onReply func(ClientReply)) error {
+	var cb smr.ReplyFunc
+	if onReply != nil {
+		cb = func(rep *msg.Reply) {
+			onReply(ClientReply{
+				Client:  string(rep.Client),
+				Seq:     rep.Seq,
+				Slot:    rep.Slot,
+				Replica: rep.Replica,
+				Result:  rep.Result,
+			})
+		}
+	}
+	return r.replica.HandleRequest(&msg.Request{
+		Client: types.ClientID(clientID), Seq: seq, Op: op,
+	}, cb)
+}
+
+// SessionCount returns the number of live client sessions on this replica
+// (bounded by active clients, not log length).
+func (r *KVReplica) SessionCount() int { return r.replica.SessionCount() }
 
 // Get reads a key from the local replica state.
 func (r *KVReplica) Get(key string) (string, bool) { return r.store.Get(key) }
@@ -222,3 +271,76 @@ func (r *KVReplica) AppliedOps() uint64 { return r.store.AppliedOps() }
 // StableCheckpoint returns the replica's newest quorum-certified checkpoint,
 // if checkpointing is enabled and one has formed.
 func (r *KVReplica) StableCheckpoint() (Checkpoint, bool) { return r.replica.StableCheckpoint() }
+
+// ---------------------------------------------------------------------------
+// External client sessions
+// ---------------------------------------------------------------------------
+
+// KVClient is an external client session over a KVReplica cluster. It
+// assigns per-session monotonically increasing sequence numbers, submits
+// each request to the cluster (preferred entry replica first), retransmits
+// when replies do not arrive in time (lost messages, crashed entry replica,
+// view change in progress), and accepts a result once f+1 replicas report a
+// matching reply. Replicas answer retransmissions of executed requests from
+// their per-client reply cache, so a request is applied exactly once no
+// matter how often it is resent.
+type KVClient struct {
+	inner *client.Client
+}
+
+// NewKVClient opens a client session over the given replicas — one handle
+// per process, indexed by ProcessID; nil entries model unreachable
+// replicas. id names the session: reusing an id resumes its sequence
+// numbering, so a fresh client needs a fresh id. timeout is one
+// retransmission round (500ms if zero).
+func NewKVClient(id string, timeout time.Duration, reps ...*KVReplica) (*KVClient, error) {
+	if len(reps) == 0 {
+		return nil, fmt.Errorf("fastbft: no replicas")
+	}
+	var cluster Config
+	handles := make([]*smr.Replica, len(reps))
+	for i, kr := range reps {
+		if kr == nil {
+			continue
+		}
+		if kr.self != ProcessID(i) {
+			// Replies are attributed by position, so a mis-ordered table
+			// would make the client silently reject every reply.
+			return nil, fmt.Errorf("fastbft: replica %s at index %d; pass replicas in ProcessID order", kr.self, i)
+		}
+		cluster = kr.cluster
+		handles[i] = kr.replica
+	}
+	if len(reps) != cluster.N {
+		return nil, fmt.Errorf("fastbft: %d replica handles for n=%d", len(reps), cluster.N)
+	}
+	inner, err := client.New(client.Config{
+		Cluster: cluster,
+		ID:      types.ClientID(id),
+		Timeout: timeout,
+	}, client.NewLocal(handles))
+	if err != nil {
+		return nil, err
+	}
+	return &KVClient{inner: inner}, nil
+}
+
+// Set replicates a key/value write and returns the replicated result (the
+// stored value), confirmed by f+1 replicas.
+func (c *KVClient) Set(key, value string) (string, error) {
+	res, err := c.inner.Execute(smr.EncodeKV(smr.KVCommand{Op: smr.OpSet, Key: key, Value: value}))
+	return string(res), err
+}
+
+// Delete replicates a key removal and returns the removed value (empty if
+// the key was absent), confirmed by f+1 replicas.
+func (c *KVClient) Delete(key string) (string, error) {
+	res, err := c.inner.Execute(smr.EncodeKV(smr.KVCommand{Op: smr.OpDel, Key: key}))
+	return string(res), err
+}
+
+// Seq returns the highest sequence number the session has assigned.
+func (c *KVClient) Seq() uint64 { return c.inner.Seq() }
+
+// Close releases the session; blocked calls return.
+func (c *KVClient) Close() error { return c.inner.Close() }

@@ -8,7 +8,7 @@ GO ?= go
 BENCH_JSON ?= BENCH_PR2.json
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-json fuzz fmt fmt-check vet clean
+.PHONY: all build test race bench bench-json fuzz smoke fmt fmt-check vet clean
 
 all: build test
 
@@ -45,6 +45,13 @@ fuzz:
 	$(GO) test ./internal/smr -run '^$$' -fuzz '^FuzzDecodeBatch$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/msg -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/msg -run '^$$' -fuzz '^FuzzDecodeReply$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzDecodeClientFrame$$' -fuzztime $(FUZZTIME)
+
+## smoke: boot a 4-replica cluster as one OS process per replica, serving a
+## networked TCP client, with one replica process killed mid-workload; the
+## command's own -timeout watchdog kills the children if anything hangs
+smoke:
+	$(GO) run ./cmd/fastbft-cluster -f 1 -t 1 -procs -ops 40 -timeout 120s
 
 ## fmt: rewrite sources with gofmt
 fmt:

@@ -7,18 +7,46 @@
 //
 //	fastbft-cluster -f 1 -t 1            # n = 4 replicas
 //	fastbft-cluster -f 2 -t 1 -ops 500   # n = 7 replicas, 500 KV writes
+//	fastbft-cluster -f 1 -t 1 -procs     # one OS process per replica,
+//	                                     # served to a networked TCP client,
+//	                                     # with a replica crash mid-workload
+//
+// With -procs, the KV phase spawns one child process per replica (this same
+// binary, re-executed in replica mode). Each child binds a replica-to-replica
+// listener and a client-facing listener, the parent distributes the peer
+// address table over the children's stdin, and then drives the workload as a
+// real external client: one OS process executing commands against replicas in
+// other OS processes over TCP, confirmed by f+1 matching replies per write —
+// including after one replica process is killed mid-workload.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
+	"strconv"
+	"strings"
 	"time"
 
 	fastbft "repro"
 )
 
+// replicaEnv marks a process as a replica child of a -procs run. It is
+// checked before anything else so the same binary (or test binary, via
+// TestMain) serves both roles.
+const replicaEnv = "FASTBFT_CLUSTER_REPLICA"
+
 func main() {
+	if os.Getenv(replicaEnv) == "1" {
+		if err := replicaMain(os.Args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "fastbft-cluster replica:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "fastbft-cluster:", err)
 		os.Exit(1)
@@ -30,6 +58,9 @@ func run(args []string) error {
 	f := fs.Int("f", 1, "Byzantine faults tolerated")
 	t := fs.Int("t", 1, "fast-path fault threshold (1..f)")
 	ops := fs.Int("ops", 200, "KV write operations for the throughput phase")
+	procs := fs.Bool("procs", false, "run the KV phase as one OS process per replica, serving a networked client")
+	timeout := fs.Duration("timeout", 2*time.Minute, "hard deadline for the multi-process phase (-procs)")
+	seed := fs.Int64("seed", 1, "deterministic key seed shared with the replica processes (-procs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,25 +119,33 @@ func run(args []string) error {
 		_ = n.Close()
 	}
 
-	// Phase 2: replicated key-value store throughput.
-	keys2, err := fastbft.GenerateKeys(cfg.N)
+	if *procs {
+		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout)
+	}
+	return runSingleProcess(cfg, *ops)
+}
+
+// runSingleProcess is the original KV phase: every replica in this process,
+// driven through an in-process handle.
+func runSingleProcess(cfg fastbft.Config, ops int) error {
+	keys, err := fastbft.GenerateKeys(cfg.N)
 	if err != nil {
 		return err
 	}
 	reps := make([]*fastbft.KVReplica, cfg.N)
-	addrs2 := make([]string, cfg.N)
+	addrs := make([]string, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		r, err := fastbft.NewKVReplica(fastbft.KVReplicaConfig{
 			Cluster:    cfg,
 			Self:       fastbft.ProcessID(i),
-			Keys:       keys2,
+			Keys:       keys,
 			ListenAddr: "127.0.0.1:0",
 		})
 		if err != nil {
 			return err
 		}
 		reps[i] = r
-		addrs2[i] = r.Addr()
+		addrs[i] = r.Addr()
 	}
 	defer func() {
 		for _, r := range reps {
@@ -114,15 +153,15 @@ func run(args []string) error {
 		}
 	}()
 	for _, r := range reps {
-		if err := r.SetPeers(addrs2); err != nil {
+		if err := r.SetPeers(addrs); err != nil {
 			return err
 		}
 		if err := r.Start(); err != nil {
 			return err
 		}
 	}
-	start = time.Now()
-	for i := 0; i < *ops; i++ {
+	start := time.Now()
+	for i := 0; i < ops; i++ {
 		if err := reps[0].Set(fmt.Sprintf("key-%d", i), fmt.Sprintf("value-%d", i)); err != nil {
 			return err
 		}
@@ -131,7 +170,7 @@ func run(args []string) error {
 	for {
 		done := true
 		for _, r := range reps {
-			if r.AppliedOps() < uint64(*ops) {
+			if r.AppliedOps() < uint64(ops) {
 				done = false
 				break
 			}
@@ -140,14 +179,217 @@ func run(args []string) error {
 			break
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("kv timeout: replica applied %d of %d ops", reps[0].AppliedOps(), *ops)
+			return fmt.Errorf("kv timeout: replica applied %d of %d ops", reps[0].AppliedOps(), ops)
 		}
 		time.Sleep(time.Millisecond)
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("kv store: %d replicated writes on %d replicas in %.2fs (%.0f ops/s)\n",
-		*ops, cfg.N, elapsed.Seconds(), float64(*ops)/elapsed.Seconds())
-	v, ok := reps[cfg.N-1].Get(fmt.Sprintf("key-%d", *ops-1))
+		ops, cfg.N, elapsed.Seconds(), float64(ops)/elapsed.Seconds())
+	v, ok := reps[cfg.N-1].Get(fmt.Sprintf("key-%d", ops-1))
 	fmt.Printf("kv check: last key on last replica = %q (present=%v)\n", v, ok)
 	return nil
+}
+
+// child is one spawned replica process and the pipes the parent drives it
+// through.
+type child struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	out   *bufio.Scanner
+}
+
+// runMultiProcess is the networked KV phase: one OS process per replica,
+// the parent process acting as a real external client over TCP. Halfway
+// through the workload one replica process is killed outright; the client
+// must not notice beyond latency.
+func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time.Duration) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(timeout)
+	children := make([]*child, cfg.N)
+	killAll := func() {
+		for _, c := range children {
+			if c != nil && c.cmd.Process != nil {
+				_ = c.cmd.Process.Kill()
+			}
+		}
+	}
+	defer func() {
+		killAll()
+		for _, c := range children {
+			if c != nil {
+				_ = c.cmd.Wait()
+			}
+		}
+	}()
+	for i := 0; i < cfg.N; i++ {
+		cmd := exec.Command(exe,
+			"-self", strconv.Itoa(i),
+			"-f", strconv.Itoa(f),
+			"-t", strconv.Itoa(t),
+			"-seed", strconv.FormatInt(seed, 10),
+		)
+		cmd.Env = append(os.Environ(), replicaEnv+"=1")
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		children[i] = &child{cmd: cmd, stdin: stdin, out: bufio.NewScanner(stdout)}
+	}
+	// Watchdog: whatever goes wrong below — a child that never reports, a
+	// client that never settles — killing the children unblocks every read
+	// and bounds the phase by the -timeout flag. Armed only now, after the
+	// spawn loop fully published the children slice it iterates.
+	watchdog := time.AfterFunc(time.Until(deadline), killAll)
+	defer watchdog.Stop()
+
+	// Collect each child's bound addresses, distribute the peer table, wait
+	// for every replica to come up.
+	peerAddrs := make([]string, cfg.N)
+	clientAddrs := make([]string, cfg.N)
+	for i, c := range children {
+		fields, err := c.expect("ADDRS", 2)
+		if err != nil {
+			return fmt.Errorf("replica process %d: %w", i, err)
+		}
+		peerAddrs[i], clientAddrs[i] = fields[0], fields[1]
+	}
+	peerLine := "PEERS " + strings.Join(peerAddrs, " ") + "\n"
+	for i, c := range children {
+		if _, err := io.WriteString(c.stdin, peerLine); err != nil {
+			return fmt.Errorf("replica process %d: %w", i, err)
+		}
+	}
+	for i, c := range children {
+		if _, err := c.expect("READY", 0); err != nil {
+			return fmt.Errorf("replica process %d: %w", i, err)
+		}
+	}
+	fmt.Printf("spawned %d replica processes, client listeners at %s\n",
+		cfg.N, strings.Join(clientAddrs, " "))
+
+	// The parent is now nothing but a client: it holds no replica handles,
+	// only the address book and the cluster's public identities.
+	keys := fastbft.GenerateTestKeys(cfg.N, seed)
+	cl, err := fastbft.NewKVNetworkClient("cluster-client", 500*time.Millisecond, cfg, keys, clientAddrs)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cl.Close() }()
+
+	crashAt := ops / 2
+	crash := cfg.N - 1 // a non-leader: the fast path stays available (t=1 covers it)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if i == crashAt {
+			if err := children[crash].cmd.Process.Kill(); err != nil {
+				return fmt.Errorf("killing replica process %d: %w", crash, err)
+			}
+			fmt.Printf("crash: killed replica process %d after %d writes\n", crash, i)
+		}
+		key, val := fmt.Sprintf("key-%d", i), fmt.Sprintf("value-%d", i)
+		res, err := cl.Set(key, val)
+		if err != nil {
+			return fmt.Errorf("networked write %d: %w", i, err)
+		}
+		if res != val {
+			return fmt.Errorf("networked write %d: confirmed %q, want %q", i, res, val)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("multi-process phase exceeded -timeout %s", timeout)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("networked kv: %d writes from an external client process, each confirmed by f+1 replicas over TCP, with replica %d crashed mid-workload (%.2fs, %.0f ops/s)\n",
+		ops, crash, elapsed.Seconds(), float64(ops)/elapsed.Seconds())
+
+	// Graceful shutdown: closing stdin tells a child to stop.
+	for i, c := range children {
+		if i != crash {
+			_ = c.stdin.Close()
+		}
+	}
+	return nil
+}
+
+// expect reads lines from the child until one starts with the given tag,
+// requiring at least argc fields after it.
+func (c *child) expect(tag string, argc int) ([]string, error) {
+	for c.out.Scan() {
+		fields := strings.Fields(c.out.Text())
+		if len(fields) > 0 && fields[0] == tag {
+			if len(fields)-1 < argc {
+				return nil, fmt.Errorf("%s line carries %d fields, want %d", tag, len(fields)-1, argc)
+			}
+			return fields[1:], nil
+		}
+	}
+	if err := c.out.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("replica exited before %s", tag)
+}
+
+// replicaMain is the child role of a -procs run: one KV replica with a
+// replica-to-replica listener and a client-facing listener, coordinated with
+// the parent over stdin/stdout (ADDRS out, PEERS in, READY out, EOF to stop).
+func replicaMain(args []string) error {
+	fs := flag.NewFlagSet("fastbft-cluster-replica", flag.ContinueOnError)
+	self := fs.Int("self", 0, "this replica's process ID")
+	f := fs.Int("f", 1, "Byzantine faults tolerated")
+	t := fs.Int("t", 1, "fast-path fault threshold")
+	seed := fs.Int64("seed", 1, "deterministic key seed shared with the parent")
+	ckpt := fs.Uint64("ckpt", 0, "checkpoint interval (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := fastbft.GeneralizedConfig(*f, *t)
+	keys := fastbft.GenerateTestKeys(cfg.N, *seed)
+	r, err := fastbft.NewKVReplica(fastbft.KVReplicaConfig{
+		Cluster:            cfg,
+		Self:               fastbft.ProcessID(*self),
+		Keys:               keys,
+		ListenAddr:         "127.0.0.1:0",
+		ClientListenAddr:   "127.0.0.1:0",
+		CheckpointInterval: *ckpt,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = r.Close() }()
+	fmt.Printf("ADDRS %s %s\n", r.Addr(), r.ClientAddr())
+
+	in := bufio.NewScanner(os.Stdin)
+	for in.Scan() {
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 || fields[0] != "PEERS" {
+			continue
+		}
+		if len(fields)-1 != cfg.N {
+			return fmt.Errorf("PEERS line carries %d addresses, want %d", len(fields)-1, cfg.N)
+		}
+		if err := r.SetPeers(fields[1:]); err != nil {
+			return err
+		}
+		if err := r.Start(); err != nil {
+			return err
+		}
+		fmt.Println("READY")
+		break
+	}
+	// Serve until the parent closes our stdin (or kills us).
+	for in.Scan() {
+	}
+	return in.Err()
 }

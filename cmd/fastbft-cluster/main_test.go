@@ -1,12 +1,44 @@
 package main
 
-import "testing"
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestMain lets the test binary play the replica-child role of a -procs
+// run: when the parent (a test in this same binary) spawns os.Executable()
+// with the replica environment marker set, we dispatch straight into
+// replicaMain instead of running the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv(replicaEnv) == "1" {
+		if err := replicaMain(os.Args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "fastbft-cluster replica:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 func TestRunSmallCluster(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns a real TCP cluster")
 	}
 	if err := run([]string{"-f", "1", "-t", "1", "-ops", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunMultiProcessCluster is the end-to-end acceptance run of the
+// networked client protocol: a client in this OS process executes commands
+// against n replicas running as separate OS processes over TCP, with one
+// replica process killed mid-workload.
+func TestRunMultiProcessCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns one OS process per replica")
+	}
+	if err := run([]string{"-f", "1", "-t", "1", "-procs", "-ops", "12", "-timeout", "90s"}); err != nil {
 		t.Fatal(err)
 	}
 }

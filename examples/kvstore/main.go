@@ -5,10 +5,19 @@
 //
 // Run with:
 //
-//	go run ./examples/kvstore
+//	go run ./examples/kvstore             # client over in-process handles
+//	go run ./examples/kvstore -network    # client over the replicas'
+//	                                      # client-facing TCP listeners
+//
+// In -network mode every replica additionally binds a client-facing TCP
+// listener, and the client session reaches the cluster the way a real
+// external client would: dialing each replica's listener, authenticating it
+// through the signed handshake, and exchanging length-prefixed canonical
+// Request/Reply frames.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -17,14 +26,20 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	network := flag.Bool("network", false, "serve the client over TCP client listeners instead of in-process handles")
+	flag.Parse()
+	if err := run(*network); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(network bool) error {
 	cfg := fastbft.GeneralizedConfig(2, 1) // n = 7
-	fmt.Printf("starting %s replicated KV store over TCP\n", cfg)
+	mode := "in-process client handles"
+	if network {
+		mode = "networked TCP client"
+	}
+	fmt.Printf("starting %s replicated KV store over TCP (%s)\n", cfg, mode)
 
 	keys, err := fastbft.GenerateKeys(cfg.N)
 	if err != nil {
@@ -32,18 +47,24 @@ func run() error {
 	}
 	reps := make([]*fastbft.KVReplica, cfg.N)
 	addrs := make([]string, cfg.N)
+	clientAddrs := make([]string, cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		r, err := fastbft.NewKVReplica(fastbft.KVReplicaConfig{
+		rcfg := fastbft.KVReplicaConfig{
 			Cluster:    cfg,
 			Self:       fastbft.ProcessID(i),
 			Keys:       keys,
 			ListenAddr: "127.0.0.1:0",
-		})
+		}
+		if network {
+			rcfg.ClientListenAddr = "127.0.0.1:0"
+		}
+		r, err := fastbft.NewKVReplica(rcfg)
 		if err != nil {
 			return err
 		}
 		reps[i] = r
 		addrs[i] = r.Addr()
+		clientAddrs[i] = r.ClientAddr()
 	}
 	defer func() {
 		for _, r := range reps {
@@ -62,8 +83,14 @@ func run() error {
 	// Write through an external client session: the client assigns
 	// sequence numbers, retransmits on timeout, and returns each result
 	// once f+1 replicas confirm it. Replicas deduplicate by (client, seq),
-	// so retransmitted requests execute exactly once.
-	cl, err := fastbft.NewKVClient("demo-client", 0, reps...)
+	// so retransmitted requests execute exactly once. In -network mode the
+	// session runs over TCP against the client-facing listeners.
+	var cl *fastbft.KVClient
+	if network {
+		cl, err = fastbft.NewKVNetworkClient("demo-client", 0, cfg, keys, clientAddrs)
+	} else {
+		cl, err = fastbft.NewKVClient("demo-client", 0, reps...)
+	}
 	if err != nil {
 		return err
 	}

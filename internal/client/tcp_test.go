@@ -1,0 +1,366 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/sigcrypto"
+	"repro/internal/sim"
+	"repro/internal/smr"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// netGroup is the networked-client fixture: SMR replicas over the in-memory
+// replica-to-replica network (fast and deterministic), each serving external
+// clients through a real client-facing TCP listener — the layer under test.
+type netGroup struct {
+	cfg       types.Config
+	scheme    sigcrypto.Scheme
+	reps      []*smr.Replica
+	stores    []*smr.KVStore
+	listeners []*transport.ClientListener
+	addrs     []string // client-facing addresses, indexed by ProcessID
+}
+
+func buildNetGroup(t *testing.T, cfg types.Config, seed int64) (*netGroup, func()) {
+	t.Helper()
+	scheme := sigcrypto.NewHMAC(cfg.N, seed)
+	net := transport.NewMemNetwork(cfg.N, 0)
+	g := &netGroup{
+		cfg:       cfg,
+		scheme:    scheme,
+		reps:      make([]*smr.Replica, cfg.N),
+		stores:    make([]*smr.KVStore, cfg.N),
+		listeners: make([]*transport.ClientListener, cfg.N),
+		addrs:     make([]string, cfg.N),
+	}
+	for i := 0; i < cfg.N; i++ {
+		pid := types.ProcessID(i)
+		g.stores[i] = smr.NewKVStore()
+		rep, err := smr.NewReplica(smr.Config{
+			Cluster:     cfg,
+			Self:        pid,
+			Signer:      scheme.Signer(pid),
+			Verifier:    scheme.Verifier(),
+			Transport:   net.Transport(pid),
+			App:         g.stores[i],
+			BaseTimeout: 200 * time.Millisecond,
+			MaxBatch:    4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.reps[i] = rep
+		ln, err := transport.NewClientListener(transport.ClientListenerConfig{
+			Self:       pid,
+			ListenAddr: "127.0.0.1:0",
+			Signer:     scheme.Signer(pid),
+			Handler:    clientHandler(rep),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.listeners[i] = ln
+		g.addrs[i] = ln.Addr()
+	}
+	for i := range g.reps {
+		if err := g.reps[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.listeners[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, func() {
+		for i := range g.reps {
+			_ = g.listeners[i].Close()
+			_ = g.reps[i].Close()
+		}
+		_ = net.Close()
+	}
+}
+
+func clientHandler(rep *smr.Replica) transport.ClientHandler {
+	return func(req *msg.Request, reply func(*msg.Reply)) error {
+		return rep.HandleRequest(req, reply)
+	}
+}
+
+// newNetClient opens a TCP client session against the group, with the given
+// address book override (nil means the group's own addresses).
+func newNetClient(t *testing.T, g *netGroup, id string, entry types.ProcessID, addrs []string, tcpCfg TCPConfig) *Client {
+	t.Helper()
+	if addrs == nil {
+		addrs = g.addrs
+	}
+	tcpCfg.N = g.cfg.N
+	tcpCfg.Addrs = addrs
+	tcpCfg.Verifier = g.scheme.Verifier()
+	tr, err := NewTCP(tcpCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{
+		Cluster: g.cfg,
+		ID:      types.ClientID(id),
+		Entry:   entry,
+		Timeout: 300 * time.Millisecond,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestTCPClientEndToEnd(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	g, cleanup := buildNetGroup(t, cfg, 31)
+	defer cleanup()
+
+	c := newNetClient(t, g, "alice", 0, nil, TCPConfig{})
+	const ops = 5
+	for i := 1; i <= ops; i++ {
+		key, val := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+		res, err := c.Execute(kvSet(key, val))
+		if err != nil {
+			t.Fatalf("execute %d over TCP: %v", i, err)
+		}
+		if string(res) != val {
+			t.Fatalf("execute %d: result %q, want %q", i, res, val)
+		}
+	}
+	if c.Seq() != ops {
+		t.Fatalf("session assigned %d sequence numbers, want %d", c.Seq(), ops)
+	}
+}
+
+// TestTCPClientFailsOverFromCrashedEntryReplica is the crashed-entry leg of
+// the fault sweep: the client's entry replica is down before the session
+// opens — dials to it are refused — yet the first request must settle from
+// the surviving replicas' replies.
+func TestTCPClientFailsOverFromCrashedEntryReplica(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	g, cleanup := buildNetGroup(t, cfg, 32)
+	defer cleanup()
+
+	dead := types.ProcessID(0)
+	_ = g.listeners[dead].Close()
+	_ = g.reps[dead].Close()
+
+	c := newNetClient(t, g, "bob", dead, nil, TCPConfig{})
+	res, err := c.Execute(kvSet("x", "1"))
+	if err != nil {
+		t.Fatalf("execute with crashed entry replica: %v", err)
+	}
+	if string(res) != "1" {
+		t.Fatalf("result %q, want %q", res, "1")
+	}
+	// The session redirected to a live replica; the next request works too.
+	if res, err = c.Execute(kvSet("y", "2")); err != nil || string(res) != "2" {
+		t.Fatalf("post-redirect execute: res=%q err=%v", res, err)
+	}
+}
+
+// TestTCPClientToleratesBlackholeReplica is the silent-replica leg of the
+// fault sweep: one replica accepts connections and reads everything but
+// never answers — not even the handshake. The client's handshake deadline
+// converts that into fail-fast silence, and the request settles from the
+// other replicas.
+func TestTCPClientToleratesBlackholeReplica(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	g, cleanup := buildNetGroup(t, cfg, 33)
+	defer cleanup()
+
+	hole := types.ProcessID(1)
+	proxy, err := sim.NewClientProxy(g.addrs[hole])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = proxy.Close() }()
+	proxy.SetBlackhole(true)
+
+	addrs := append([]string(nil), g.addrs...)
+	addrs[hole] = proxy.Addr()
+	c := newNetClient(t, g, "carol", 0, addrs, TCPConfig{
+		HandshakeTimeout: 150 * time.Millisecond,
+	})
+
+	start := time.Now()
+	res, err := c.Execute(kvSet("k", "v"))
+	if err != nil {
+		t.Fatalf("execute with a blackhole replica: %v", err)
+	}
+	if string(res) != "v" {
+		t.Fatalf("result %q, want %q", res, "v")
+	}
+	// Liveness, not just eventual success: the blackhole costs at most the
+	// handshake deadline per round, never a hang.
+	if took := time.Since(start); took > 10*time.Second {
+		t.Fatalf("request took %v against one silent replica", took)
+	}
+}
+
+// TestTCPClientSurvivesMidStreamConnectionDrops is the connection-drop leg
+// of the fault sweep: every client connection runs through a fault proxy,
+// and between (and during) requests all of them are severed. The client
+// must redial, retransmit, and still execute each request exactly once.
+func TestTCPClientSurvivesMidStreamConnectionDrops(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	g, cleanup := buildNetGroup(t, cfg, 34)
+	defer cleanup()
+
+	proxies := make([]*sim.ClientProxy, cfg.N)
+	addrs := make([]string, cfg.N)
+	for i := range proxies {
+		p, err := sim.NewClientProxy(g.addrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxies[i] = p
+		addrs[i] = p.Addr()
+	}
+	defer func() {
+		for _, p := range proxies {
+			_ = p.Close()
+		}
+	}()
+	dropAll := func() {
+		for _, p := range proxies {
+			p.DropConnections()
+		}
+	}
+
+	c := newNetClient(t, g, "dave", 0, addrs, TCPConfig{})
+	const ops = 3
+	for i := 1; i <= ops; i++ {
+		if i > 1 {
+			dropAll() // sever every established connection between requests
+		}
+		// Sever again while the request is in flight: replies already on the
+		// wire are lost and must be recovered by retransmission against the
+		// replicas' reply caches.
+		timer := time.AfterFunc(50*time.Millisecond, dropAll)
+		key, val := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+		res, err := c.Execute(kvSet(key, val))
+		timer.Stop()
+		if err != nil {
+			t.Fatalf("execute %d across connection drops: %v", i, err)
+		}
+		if string(res) != val {
+			t.Fatalf("execute %d: result %q, want %q", i, res, val)
+		}
+	}
+
+	// Exactly-once held through every retransmission: the session high-water
+	// mark equals the number of requests on every live replica that applied.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		converged := 0
+		for i := range g.reps {
+			if seq, ok := g.reps[i].SessionSeq("dave"); ok && seq == ops {
+				converged++
+			}
+		}
+		if converged == cfg.N {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d replicas converged to seq %d", converged, cfg.N, ops)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i, st := range g.stores {
+		if st.AppliedOps() != ops {
+			t.Fatalf("replica %d applied %d ops, want exactly %d (a retransmission re-executed)", i, st.AppliedOps(), ops)
+		}
+	}
+}
+
+// TestConcurrentClientsOverOneListener: two clients with interleaved
+// sessions over the same listeners must get non-crossed replies — each
+// Execute returns the result of that client's own operation — and dedup
+// must stay per-(client, seq): both sessions reach their own high-water
+// mark and every operation applies exactly once.
+func TestConcurrentClientsOverOneListener(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	g, cleanup := buildNetGroup(t, cfg, 35)
+	defer cleanup()
+
+	const ops = 8
+	runClient := func(name string) error {
+		c := newNetClient(t, g, name, 0, nil, TCPConfig{})
+		for i := 1; i <= ops; i++ {
+			// Keys and values carry the client name: a crossed reply (one
+			// client's Execute resolved with the other's result) is caught
+			// on the spot.
+			key := fmt.Sprintf("%s-k%d", name, i)
+			val := fmt.Sprintf("%s-v%d", name, i)
+			res, err := c.Execute(kvSet(key, val))
+			if err != nil {
+				return fmt.Errorf("%s execute %d: %w", name, i, err)
+			}
+			if string(res) != val {
+				return fmt.Errorf("%s execute %d: crossed or corrupt reply %q, want %q", name, i, res, val)
+			}
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	names := []string{"alice", "bob"}
+	for i := range names {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			errs[i] = runClient(names[i])
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %s: %v", names[i], err)
+		}
+	}
+
+	// Dedup stayed per-(client, seq): both sessions at seq=ops, 2*ops
+	// applications total, on every replica.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		done := true
+		for i := range g.reps {
+			for _, name := range names {
+				if seq, ok := g.reps[i].SessionSeq(types.ClientID(name)); !ok || seq != ops {
+					done = false
+				}
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replicas did not converge to both sessions' high-water marks")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i, st := range g.stores {
+		if st.AppliedOps() != 2*ops {
+			t.Fatalf("replica %d applied %d ops, want exactly %d", i, st.AppliedOps(), 2*ops)
+		}
+		for _, name := range names {
+			for k := 1; k <= ops; k++ {
+				key := fmt.Sprintf("%s-k%d", name, k)
+				want := fmt.Sprintf("%s-v%d", name, k)
+				if v, ok := st.Get(key); !ok || v != want {
+					t.Fatalf("replica %d: %s=%q (present=%v), want %q", i, key, v, ok, want)
+				}
+			}
+		}
+	}
+}

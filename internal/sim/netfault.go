@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// ClientProxy is a byte-level TCP fault-injection proxy for the client
+// protocol test sweep: tests put it between a networked client and a
+// replica's client-facing listener to inject the network faults the
+// deterministic simulators cannot express at the socket level —
+//
+//   - blackhole mode: the proxy accepts connections and reads (so the
+//     client's dial and writes succeed) but forwards nothing and answers
+//     nothing, modeling a replica that accepts connections but never
+//     replies;
+//   - connection drops: DropConnections severs every active connection
+//     mid-stream, modeling a flaky network path or a restarting middlebox.
+//
+// It deliberately proxies bytes, not frames: the faults it injects are
+// below the framing layer, which is exactly where a real network fails.
+type ClientProxy struct {
+	backend string
+	ln      net.Listener
+
+	mu        sync.Mutex
+	closed    bool
+	blackhole bool
+	conns     map[net.Conn]struct{} // every open socket, both sides
+	wg        sync.WaitGroup
+}
+
+// NewClientProxy starts a proxy in front of the given backend address.
+func NewClientProxy(backend string) (*ClientProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &ClientProxy{backend: backend, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what the client should dial.
+func (p *ClientProxy) Addr() string { return p.ln.Addr().String() }
+
+// SetBlackhole switches blackhole mode for new connections: when on,
+// accepted connections are drained and discarded instead of forwarded.
+func (p *ClientProxy) SetBlackhole(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.blackhole = on
+}
+
+// DropConnections severs every active connection mid-stream. The listener
+// stays up: subsequent dials are served under the current mode.
+func (p *ClientProxy) DropConnections() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := range p.conns {
+		_ = c.Close()
+	}
+}
+
+// Close stops the proxy and severs everything.
+func (p *ClientProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+	_ = p.ln.Close()
+	p.wg.Wait()
+	return nil
+}
+
+func (p *ClientProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.wg.Add(1)
+		go p.serve(conn)
+	}
+}
+
+// track registers a socket for DropConnections/Close; it reports false (and
+// closes the socket) when the proxy is already closed.
+func (p *ClientProxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		_ = c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *ClientProxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	_ = c.Close()
+}
+
+func (p *ClientProxy) serve(client net.Conn) {
+	defer p.wg.Done()
+	if !p.track(client) {
+		return
+	}
+	defer p.untrack(client)
+
+	p.mu.Lock()
+	blackhole := p.blackhole
+	p.mu.Unlock()
+	if blackhole {
+		// Swallow everything, say nothing: the peer's writes succeed and its
+		// reads hang until its own deadline fires.
+		_, _ = io.Copy(io.Discard, client)
+		return
+	}
+
+	backend, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		return
+	}
+	if !p.track(backend) {
+		return
+	}
+	defer p.untrack(backend)
+
+	// Pump both directions; when either side dies, tear both down so the
+	// drop is visible to both ends.
+	done := make(chan struct{}, 2)
+	pump := func(dst, src net.Conn) {
+		_, _ = io.Copy(dst, src)
+		done <- struct{}{}
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		pump(backend, client)
+	}()
+	pump(client, backend)
+	_ = client.Close()
+	_ = backend.Close()
+	<-done
+	<-done
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes until closed.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				_, _ = io.Copy(conn, conn)
+				_ = conn.Close()
+			}()
+		}
+	}()
+	t.Cleanup(func() { _ = ln.Close() })
+	return ln
+}
+
+func TestClientProxyForwardsAndInjectsFaults(t *testing.T) {
+	backend := echoServer(t)
+	proxy, err := NewClientProxy(backend.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = proxy.Close() }()
+
+	dial := func() net.Conn {
+		conn, err := net.DialTimeout("tcp", proxy.Addr(), 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+		return conn
+	}
+
+	// Pass-through mode forwards both directions.
+	conn := dial()
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("echo through proxy: %q, %v", buf, err)
+	}
+
+	// DropConnections severs the active pipe mid-stream: the client side
+	// observes EOF/reset rather than a hang.
+	proxy.DropConnections()
+	if _, err := io.ReadFull(conn, buf); err == nil {
+		t.Fatal("connection survived DropConnections")
+	}
+	_ = conn.Close()
+
+	// Blackhole mode: writes succeed, nothing ever comes back, and the
+	// backend never sees the connection.
+	proxy.SetBlackhole(true)
+	hole := dial()
+	defer func() { _ = hole.Close() }()
+	if _, err := hole.Write([]byte("shout into the void")); err != nil {
+		t.Fatal(err)
+	}
+	_ = hole.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if _, err := hole.Read(buf); err == nil {
+		t.Fatal("blackhole answered")
+	}
+}

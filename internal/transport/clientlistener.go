@@ -1,0 +1,247 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/sigcrypto"
+	"repro/internal/types"
+)
+
+// ClientHandler ingests one decoded client request. reply must be safe to
+// call from any goroutine at any later time (requests execute after
+// consensus); replies to connections that have since died are dropped. A
+// returned error marks the request as invalid at the session layer (empty
+// operation, oversized client ID, zero sequence number) and drops the
+// connection that sent it.
+type ClientHandler func(req *msg.Request, reply func(*msg.Reply)) error
+
+// ClientListenerConfig parameterizes a replica's client-facing endpoint.
+type ClientListenerConfig struct {
+	// Self is the replica this listener serves for; its identity is what the
+	// handshake proves to dialing clients.
+	Self types.ProcessID
+	// ListenAddr is the client-facing listen address (e.g. "127.0.0.1:0").
+	// It is distinct from the replica-to-replica listen address.
+	ListenAddr string
+	// Signer signs the handshake identity proofs (the replica's cluster key).
+	Signer sigcrypto.Signer
+	// Handler receives every decoded request.
+	Handler ClientHandler
+	// ReadTimeout is the per-connection read deadline, re-armed before the
+	// handshake and before every request frame (default 2 minutes). A client
+	// that stops sending mid-frame — or never completes its hello — is
+	// disconnected when it expires, so a slow or hostile client occupies a
+	// goroutine for a bounded time and never the accept loop.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds one reply write (default 10 seconds); a client
+	// that stops reading has its replies dropped, to be recovered by
+	// retransmission.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrent client connections (default 1024).
+	// Connections above the cap are closed on accept, so the worst a
+	// connection-flooding client can pin is MaxConns goroutines and
+	// MaxConns×MaxClientFrame of buffer for one ReadTimeout — never
+	// unbounded memory. Honest clients redial.
+	MaxConns int
+}
+
+// ClientListener is a replica's client-facing TCP endpoint, separate from
+// replica-to-replica traffic: it accepts connections from external clients,
+// proves the replica's identity in a signed handshake, decodes
+// length-prefixed canonical Request frames into the handler, and pushes
+// Reply frames back when requests execute.
+//
+// The accept loop never reads from a connection — each connection gets its
+// own goroutine whose reads are bounded by ReadTimeout and whose frames are
+// bounded by MaxClientFrame, and the connection population is bounded by
+// MaxConns — so no client, however slow or hostile, can hold the accept
+// loop hostage or force unbounded allocation.
+type ClientListener struct {
+	cfg ClientListenerConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+}
+
+// NewClientListener binds the client-facing listener immediately (so Addr is
+// known before Start).
+func NewClientListener(cfg ClientListenerConfig) (*ClientListener, error) {
+	if cfg.Signer == nil {
+		return nil, errors.New("transport: client listener requires a signer")
+	}
+	if cfg.Handler == nil {
+		return nil, errors.New("transport: client listener requires a handler")
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 2 * time.Minute
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 1024
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("client listen %s: %w", cfg.ListenAddr, err)
+	}
+	return &ClientListener{cfg: cfg, ln: ln, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Addr returns the bound client-facing address (useful with ":0" configs).
+func (l *ClientListener) Addr() string { return l.ln.Addr().String() }
+
+// Start launches the accept loop.
+func (l *ClientListener) Start() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.started {
+		return nil
+	}
+	l.started = true
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return nil
+}
+
+// Close stops the listener and severs every client connection.
+func (l *ClientListener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	for conn := range l.conns {
+		_ = conn.Close()
+	}
+	l.mu.Unlock()
+	_ = l.ln.Close()
+	l.wg.Wait()
+	return nil
+}
+
+// acceptLoop admits connections and hands each to its own goroutine; it
+// performs no reads itself.
+func (l *ClientListener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		l.wg.Add(1)
+		go l.serveConn(conn)
+	}
+}
+
+// serveConn runs the handshake and then the request loop for one client
+// connection. Any protocol violation — malformed hello, oversized frame,
+// non-canonical payload, a message kind clients may not send, an invalid
+// request — drops the connection: the client protocol recovers lost replies
+// by retransmission, so dropping is always safe, and it is the cheapest
+// possible response to a hostile peer.
+func (l *ClientListener) serveConn(conn net.Conn) {
+	defer l.wg.Done()
+	l.mu.Lock()
+	if l.closed || len(l.conns) >= l.cfg.MaxConns {
+		l.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	l.conns[conn] = struct{}{}
+	l.mu.Unlock()
+	w := &clientConnWriter{conn: conn, timeout: l.cfg.WriteTimeout}
+	defer func() {
+		w.shutdown()
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+	}()
+
+	// Handshake: the client opens with a nonce; we answer with our identity
+	// signed over it. The hello read runs under the same deadline as every
+	// other read — a client that connects and stalls is shed, not parked.
+	_ = conn.SetReadDeadline(time.Now().Add(l.cfg.ReadTimeout))
+	payload, err := ReadClientFrame(conn)
+	if err != nil {
+		return
+	}
+	nonce, err := DecodeClientHello(payload)
+	if err != nil {
+		return
+	}
+	if err := w.write(EncodeServerHello(l.cfg.Signer, nonce)); err != nil {
+		return
+	}
+
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(l.cfg.ReadTimeout))
+		payload, err := ReadClientFrame(conn)
+		if err != nil {
+			return
+		}
+		m, err := DecodeClientMessage(payload)
+		if err != nil {
+			return
+		}
+		req, ok := m.(*msg.Request)
+		if !ok {
+			return // clients may only send requests
+		}
+		if err := l.cfg.Handler(req, w.reply); err != nil {
+			return
+		}
+	}
+}
+
+// clientConnWriter serializes writes to one client connection. Replies
+// arrive from apply-loop goroutines long after the request frame was read,
+// possibly after the connection died; writes after shutdown are dropped
+// silently (the client retransmits and is answered from the reply cache).
+type clientConnWriter struct {
+	conn    net.Conn
+	timeout time.Duration
+
+	mu   sync.Mutex
+	dead bool
+}
+
+func (w *clientConnWriter) write(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return ErrClosed
+	}
+	_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+	return WriteClientFrame(w.conn, payload)
+}
+
+// reply frames and sends one reply, dropping it on any failure.
+func (w *clientConnWriter) reply(rep *msg.Reply) {
+	if rep == nil {
+		return
+	}
+	_ = w.write(msg.Encode(rep))
+}
+
+// shutdown closes the connection and marks the writer dead so late replies
+// are dropped without touching the socket.
+func (w *clientConnWriter) shutdown() {
+	w.mu.Lock()
+	w.dead = true
+	w.mu.Unlock()
+	_ = w.conn.Close()
+}

@@ -390,30 +390,38 @@ func (p *tcpPeer) stopped() bool {
 	return p.stop
 }
 
-// writeFrame emits one 4-byte length-prefixed frame.
-func writeFrame(conn net.Conn, payload []byte) error {
+// writeFrame emits one 4-byte length-prefixed frame. It is shared by the
+// peer channel and the client channel; the per-channel payload limits are
+// enforced by the callers (Send and WriteClientFrame respectively).
+func writeFrame(w io.Writer, payload []byte) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := conn.Write(hdr[:]); err != nil {
+	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := conn.Write(payload)
+	_, err := w.Write(payload)
 	return err
 }
 
-// readFrame reads one frame, enforcing MaxFrame.
-func readFrame(conn net.Conn) ([]byte, error) {
+// readLimitedFrame reads one length-prefixed frame, enforcing the given
+// payload limit on the header alone — before any allocation.
+func readLimitedFrame(r io.Reader, limit uint32) ([]byte, error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return nil, errors.New("tcp: frame exceeds limit")
+	if n > limit {
+		return nil, ErrFrameTooLarge
 	}
 	payload := make([]byte, n)
-	if _, err := io.ReadFull(conn, payload); err != nil {
+	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, err
 	}
 	return payload, nil
+}
+
+// readFrame reads one peer-channel frame, enforcing MaxFrame.
+func readFrame(conn net.Conn) ([]byte, error) {
+	return readLimitedFrame(conn, MaxFrame)
 }

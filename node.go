@@ -115,6 +115,13 @@ type KVReplicaConfig struct {
 	ListenAddr string
 	// Peers lists every replica's address (may be set later via SetPeers).
 	Peers []string
+	// ClientListenAddr, when non-empty, additionally binds a client-facing
+	// TCP listener — separate from the replica-to-replica listener — serving
+	// networked clients: signed-handshake replica authentication,
+	// length-prefixed canonical Request/Reply framing, per-connection read
+	// deadlines and frame-size limits. Dial it with NewKVNetworkClient.
+	// Empty keeps the replica reachable by in-process handles only.
+	ClientListenAddr string
 	// BaseTimeout is the per-slot view-1 timer (500ms if zero).
 	BaseTimeout time.Duration
 	// OnCommit, if set, observes every decided log slot.
@@ -129,13 +136,14 @@ type KVReplicaConfig struct {
 // KVReplica is one member of the replicated key-value store: the SMR layer
 // of internal/smr running the paper's protocol per log slot.
 type KVReplica struct {
-	cluster Config
-	self    ProcessID
-	tr      *transport.TCPTransport
-	replica *smr.Replica
-	store   *smr.KVStore
-	seq     atomic.Uint64
-	client  string
+	cluster  Config
+	self     ProcessID
+	tr       *transport.TCPTransport
+	clientLn *transport.ClientListener // nil unless ClientListenAddr was set
+	replica  *smr.Replica
+	store    *smr.KVStore
+	seq      atomic.Uint64
+	client   string
 }
 
 // NewKVReplica builds a replica and binds its listener.
@@ -183,27 +191,66 @@ func NewKVReplica(cfg KVReplicaConfig) (*KVReplica, error) {
 		_ = tr.Close()
 		return nil, err
 	}
-	return &KVReplica{
+	kr := &KVReplica{
 		cluster: cfg.Cluster,
 		self:    cfg.Self,
 		tr:      tr,
 		replica: rep,
 		store:   store,
 		client:  fmt.Sprintf("replica-%d", cfg.Self),
-	}, nil
+	}
+	if cfg.ClientListenAddr != "" {
+		ln, err := transport.NewClientListener(transport.ClientListenerConfig{
+			Self:       cfg.Self,
+			ListenAddr: cfg.ClientListenAddr,
+			Signer:     cfg.Keys.scheme.Signer(cfg.Self),
+			Handler: func(req *msg.Request, reply func(*msg.Reply)) error {
+				return rep.HandleRequest(req, reply)
+			},
+		})
+		if err != nil {
+			_ = rep.Close()
+			return nil, err
+		}
+		kr.clientLn = ln
+	}
+	return kr, nil
 }
 
 // Addr returns the bound listen address.
 func (r *KVReplica) Addr() string { return r.tr.Addr() }
 
+// ClientAddr returns the bound client-facing listener address, or "" when
+// ClientListenAddr was not configured.
+func (r *KVReplica) ClientAddr() string {
+	if r.clientLn == nil {
+		return ""
+	}
+	return r.clientLn.Addr()
+}
+
 // SetPeers installs the cluster address table before Start.
 func (r *KVReplica) SetPeers(addrs []string) error { return r.tr.SetPeers(addrs) }
 
-// Start begins participating.
-func (r *KVReplica) Start() error { return r.replica.Start() }
+// Start begins participating; with a client listener configured, it also
+// starts serving networked clients.
+func (r *KVReplica) Start() error {
+	if err := r.replica.Start(); err != nil {
+		return err
+	}
+	if r.clientLn != nil {
+		return r.clientLn.Start()
+	}
+	return nil
+}
 
-// Close stops the replica.
-func (r *KVReplica) Close() error { return r.replica.Close() }
+// Close stops the replica and its client listener.
+func (r *KVReplica) Close() error {
+	if r.clientLn != nil {
+		_ = r.clientLn.Close()
+	}
+	return r.replica.Close()
+}
 
 // Set replicates a key/value write through the log, fire-and-forget, under
 // the replica's own client session. Use NewKVClient for replies and
@@ -320,6 +367,45 @@ func NewKVClient(id string, timeout time.Duration, reps ...*KVReplica) (*KVClien
 		Timeout: timeout,
 	}, client.NewLocal(handles))
 	if err != nil {
+		return nil, err
+	}
+	return &KVClient{inner: inner}, nil
+}
+
+// NewKVNetworkClient opens a client session over TCP against replicas in
+// other OS processes: clientAddrs is the address book of the replicas'
+// client-facing listeners (KVReplicaConfig.ClientListenAddr), indexed by
+// ProcessID, and keys supplies the verifier for the handshake in which each
+// replica proves its identity — the authentication the f+1 matching-reply
+// rule rests on. The session behaves exactly like an in-process NewKVClient
+// session: per-session sequence numbers, retransmission on timeout (which
+// also covers redialing crashed or unreachable replicas), f+1 matching-reply
+// confirmation, and server-side exactly-once execution.
+func NewKVNetworkClient(id string, timeout time.Duration, cluster Config, keys *Keys, clientAddrs []string) (*KVClient, error) {
+	if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if keys == nil || keys.N() != cluster.N {
+		return nil, fmt.Errorf("fastbft: keys for %d processes required", cluster.N)
+	}
+	if len(clientAddrs) != cluster.N {
+		return nil, fmt.Errorf("fastbft: %d client addresses for n=%d", len(clientAddrs), cluster.N)
+	}
+	tr, err := client.NewTCP(client.TCPConfig{
+		N:        cluster.N,
+		Addrs:    append([]string(nil), clientAddrs...),
+		Verifier: keys.scheme.Verifier(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	inner, err := client.New(client.Config{
+		Cluster: cluster,
+		ID:      types.ClientID(id),
+		Timeout: timeout,
+	}, tr)
+	if err != nil {
+		_ = tr.Close()
 		return nil, err
 	}
 	return &KVClient{inner: inner}, nil

@@ -16,10 +16,13 @@
 //   - StartNode runs one consensus instance as a real process over
 //     authenticated TCP, for a local multi-replica deployment.
 //   - StartKVReplica runs a replicated key-value store on the replicated
-//     state machine built from the protocol; NewKVClient opens an external
-//     client session against it (per-client sequence numbers, automatic
-//     retransmission, f+1 matching-reply confirmation, and server-side
-//     exactly-once execution via per-client session tables).
+//     state machine built from the protocol — replication is pipelined
+//     across a window of concurrent log slots (KVReplicaConfig.WindowSize)
+//     with per-slot command batches (MaxBatch), applied strictly in slot
+//     order; NewKVClient opens an external client session against it
+//     (per-client sequence numbers, automatic retransmission, f+1
+//     matching-reply confirmation, and server-side exactly-once execution
+//     via per-client session tables).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of every figure and table of the paper.

@@ -26,9 +26,15 @@ type ReplicaNet struct {
 
 	mu    sync.Mutex
 	queue []replicaDelivery
+	held  []replicaDelivery
+	hold  HoldFunc
 	eps   []*replicaEndpoint
 	down  []bool
 }
+
+// HoldFunc decides whether a delivery is parked instead of delivered (see
+// SetHold).
+type HoldFunc func(from, to types.ProcessID, payload []byte) bool
 
 type replicaDelivery struct {
 	from, to types.ProcessID
@@ -68,6 +74,13 @@ func (rn *ReplicaNet) SetDown(p types.ProcessID, down bool) {
 			}
 		}
 		rn.queue = kept
+		heldKept := rn.held[:0]
+		for _, d := range rn.held {
+			if d.to != p && d.from != p {
+				heldKept = append(heldKept, d)
+			}
+		}
+		rn.held = heldKept
 	}
 }
 
@@ -82,8 +95,45 @@ func (rn *ReplicaNet) Restart(p types.ProcessID) transport.Transport {
 	return rn.eps[p]
 }
 
+// SetHold installs (or, with nil, removes) a hold predicate: while set,
+// every delivery the predicate matches is parked on a held queue instead of
+// reaching its destination handler. Held deliveries keep their relative
+// order and re-enter the live queue on ReleaseHeld. This is the lockstep
+// lever for interleaving pipelined log slots: a test can park all traffic
+// of slot k, let slots k+1.. decide first, then release slot k — an
+// out-of-order decision schedule that replays identically every run.
+func (rn *ReplicaNet) SetHold(pred HoldFunc) {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	rn.hold = pred
+}
+
+// ReleaseHeld removes the hold predicate and moves every parked delivery
+// back to the front of the live queue, in their original order, so a
+// subsequent Drain delivers them. It returns the number released.
+func (rn *ReplicaNet) ReleaseHeld() int {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	rn.hold = nil
+	n := len(rn.held)
+	if n > 0 {
+		rn.queue = append(append([]replicaDelivery(nil), rn.held...), rn.queue...)
+		rn.held = nil
+	}
+	return n
+}
+
+// HeldLen returns the number of parked deliveries.
+func (rn *ReplicaNet) HeldLen() int {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	return len(rn.held)
+}
+
 // Step delivers the oldest queued payload, if any, and reports whether a
-// delivery happened.
+// delivery happened. A payload matched by the hold predicate is parked
+// rather than delivered; parking still counts as a step (the queue made
+// progress), so Drain terminates once only parked traffic remains.
 func (rn *ReplicaNet) Step() bool {
 	rn.mu.Lock()
 	if len(rn.queue) == 0 {
@@ -92,6 +142,11 @@ func (rn *ReplicaNet) Step() bool {
 	}
 	d := rn.queue[0]
 	rn.queue = rn.queue[1:]
+	if rn.hold != nil && rn.hold(d.from, d.to, d.payload) {
+		rn.held = append(rn.held, d)
+		rn.mu.Unlock()
+		return true
+	}
 	var h transport.Handler
 	if !rn.down[d.to] {
 		ep := rn.eps[d.to]

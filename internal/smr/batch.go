@@ -9,8 +9,10 @@ import (
 
 // A decided slot value is a batch of commands. Batching amortizes the two
 // consensus rounds over several client commands — the standard throughput
-// optimization of replicated state machines; Config.MaxBatch controls how
-// many pending commands a leader packs per proposal (1 disables batching).
+// optimization of replicated state machines, composing with pipelining (the
+// other one): Config.MaxBatch controls how many pending commands one slot
+// proposal packs (1 disables batching), and with Config.WindowSize > 1 the
+// concurrent live slots each carry a disjoint chunk of the queue.
 //
 // The batch encoding is canonical (count + length-prefixed commands), so a
 // batch is also a valid unique consensus value.

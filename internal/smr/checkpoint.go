@@ -148,6 +148,13 @@ func (r *Replica) stabilizeLocked(cert *msg.CheckpointCert, snap []byte) {
 			if sl.timer != nil {
 				sl.timer.Stop()
 			}
+			// With pipelining the live window can hold instances the replica
+			// proposed for but never saw decide (state transfer restored past
+			// them); return their in-flight chunks to the queue so the
+			// commands are re-proposed above the checkpoint unless the
+			// restored session table proves them executed. Slots that decided
+			// locally settled their chunk at decision time (proposed is nil).
+			r.releaseSlotLocked(sl)
 			delete(r.slots, num)
 		}
 	}

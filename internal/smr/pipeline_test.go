@@ -1,0 +1,775 @@
+package smr
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/sigcrypto"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+// inflightInvariantErr checks, under the replica's own lock, the disjointness
+// invariant of pipelined replication: no command is proposed in two live
+// slots at once, every proposed command is indexed in flight for exactly its
+// slot, and no in-flight command is simultaneously queued for assignment.
+func (r *Replica) inflightInvariantErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[string]uint64)
+	for num, sl := range r.slots {
+		for _, c := range sl.proposed {
+			if other, dup := seen[string(c)]; dup {
+				return fmt.Errorf("command proposed in two live slots (%d and %d)", other, num)
+			}
+			seen[string(c)] = num
+			if got, ok := r.inflight[string(c)]; !ok || got != num {
+				return fmt.Errorf("slot %d's proposed command indexed in flight for slot %d (present=%v)", num, got, ok)
+			}
+			if r.pending.Contains(c) {
+				return fmt.Errorf("slot %d's in-flight command still queued as pending", num)
+			}
+		}
+	}
+	for c, s := range r.inflight {
+		if other, ok := seen[c]; !ok || other != s {
+			return fmt.Errorf("in-flight index entry for slot %d has no live proposal", s)
+		}
+	}
+	return nil
+}
+
+// payloadSlot parses the slot tag of an SMR envelope.
+func payloadSlot(payload []byte) (uint64, bool) {
+	rd := wire.NewReader(payload)
+	s := rd.Uvarint()
+	return s, rd.Err() == nil
+}
+
+// commitLog records OnCommit deliveries for one replica.
+type commitLog struct {
+	mu    sync.Mutex
+	slots []uint64
+}
+
+func (c *commitLog) record(slot uint64, _ Command, _ types.Decision) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slots = append(c.slots, slot)
+}
+
+func (c *commitLog) snapshot() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]uint64(nil), c.slots...)
+}
+
+func (c *commitLog) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.slots)
+}
+
+// buildLockstepGroup wires n replicas over a deterministic lockstep
+// ReplicaNet with per-replica commit logs. Timers are effectively disabled
+// (the pump drives everything).
+func buildLockstepGroup(t *testing.T, cfg types.Config, seed int64, window, maxBatch int, interval uint64) ([]*Replica, []*KVStore, []*commitLog, *sim.ReplicaNet, sigcrypto.Scheme) {
+	t.Helper()
+	scheme := sigcrypto.NewHMAC(cfg.N, seed)
+	net := sim.NewReplicaNet(cfg.N)
+	reps := make([]*Replica, cfg.N)
+	stores := make([]*KVStore, cfg.N)
+	logs := make([]*commitLog, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		pid := types.ProcessID(i)
+		stores[i] = NewKVStore()
+		logs[i] = &commitLog{}
+		r, err := NewReplica(Config{
+			Cluster:            cfg,
+			Self:               pid,
+			Signer:             scheme.Signer(pid),
+			Verifier:           scheme.Verifier(),
+			Transport:          net.Transport(pid),
+			App:                stores[i],
+			OnCommit:           logs[i].record,
+			BaseTimeout:        time.Hour,
+			WindowSize:         window,
+			MaxBatch:           maxBatch,
+			CheckpointInterval: interval,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = r
+	}
+	return reps, stores, logs, net, scheme
+}
+
+func submitKV(t *testing.T, r *Replica, client string, i int) {
+	t.Helper()
+	cmd := EncodeKV(KVCommand{Op: OpSet, Client: client, Seq: uint64(i),
+		Key: fmt.Sprintf("k%d", i), Value: fmt.Sprintf("v%d", i)})
+	if err := r.Submit(cmd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pipelining: the window actually fills
+// ---------------------------------------------------------------------------
+
+// TestSMRPipelineFillsWindow submits a burst of commands without letting the
+// network deliver anything and asserts the submitting replica spins up one
+// consensus instance per pending command, up to the window — the pipelining
+// property itself: replication concurrency is bounded by WindowSize, not by
+// one consensus round-trip at a time.
+func TestSMRPipelineFillsWindow(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	const window = 4
+	reps, stores, _, net, _ := buildLockstepGroup(t, cfg, 41, window, 1, 0)
+	defer func() {
+		for _, r := range reps {
+			_ = r.Close()
+		}
+	}()
+
+	const ops = 7 // more than the window: the excess must stay queued
+	for i := 0; i < ops; i++ {
+		submitKV(t, reps[0], "burst", i)
+	}
+	if got := reps[0].SlotCount(); got != window {
+		t.Fatalf("submitter runs %d live instances after %d submissions, want the full window %d", got, ops, window)
+	}
+	if got := reps[0].PendingCount(); got != ops {
+		t.Fatalf("submitter tracks %d commands, want %d (in flight + queued)", got, ops)
+	}
+	for _, r := range reps {
+		if err := r.inflightInvariantErr(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Let the cluster run: everything decides and applies, in order, on all
+	// replicas, and the window keeps refilling past the first WindowSize
+	// slots.
+	net.Drain(0)
+	for i, st := range stores {
+		if st.AppliedOps() != ops {
+			t.Fatalf("replica %d applied %d ops, want %d", i, st.AppliedOps(), ops)
+		}
+	}
+	if got := reps[0].AppliedCount(); got < ops {
+		t.Fatalf("apply frontier %d, want >= %d", got, ops)
+	}
+	for _, r := range reps {
+		if err := r.inflightInvariantErr(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSMRPipelineDisjointChunksUnderLoad runs a concurrent workload over the
+// real in-memory transport with pipelining and batching enabled, and
+// continuously asserts that no command is ever proposed in two live slots of
+// the same replica simultaneously (the acceptance invariant of pipelined
+// replication), while every command still executes exactly once.
+func TestSMRPipelineDisjointChunksUnderLoad(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	scheme := sigcrypto.NewHMAC(cfg.N, 42)
+	net := transport.NewMemNetwork(cfg.N, 0)
+	defer func() { _ = net.Close() }()
+	reps := make([]*Replica, cfg.N)
+	stores := make([]*KVStore, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		pid := types.ProcessID(i)
+		stores[i] = NewKVStore()
+		r, err := NewReplica(Config{
+			Cluster:     cfg,
+			Self:        pid,
+			Signer:      scheme.Signer(pid),
+			Verifier:    scheme.Verifier(),
+			Transport:   net.Transport(pid),
+			App:         stores[i],
+			BaseTimeout: 200 * time.Millisecond,
+			WindowSize:  8,
+			MaxBatch:    4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = r
+	}
+	for _, r := range reps {
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, r := range reps {
+			_ = r.Close()
+		}
+	}()
+
+	const ops = 96
+	stop := make(chan struct{})
+	violations := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, r := range reps {
+				if err := r.inflightInvariantErr(); err != nil {
+					select {
+					case violations <- err:
+					default:
+					}
+					return
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	// Submit through every replica to force conflicting local proposals (the
+	// losing chunks are what exercises re-enqueueing).
+	for i := 0; i < ops; i++ {
+		submitKV(t, reps[i%cfg.N], "load", i)
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		for _, st := range stores {
+			if st.AppliedOps() < ops {
+				return false
+			}
+		}
+		return true
+	}, "pipelined workload to apply everywhere")
+	close(stop)
+	select {
+	case err := <-violations:
+		t.Fatal(err)
+	default:
+	}
+	time.Sleep(100 * time.Millisecond) // any duplicate applications would land here
+	for i, st := range stores {
+		if st.AppliedOps() != ops {
+			t.Fatalf("replica %d applied %d ops, want exactly %d", i, st.AppliedOps(), ops)
+		}
+	}
+	for _, r := range reps {
+		if err := r.inflightInvariantErr(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-order decide, in-order apply and commit
+// ---------------------------------------------------------------------------
+
+// TestSMROutOfOrderDecideAppliesInOrder parks every consensus message of one
+// log slot so its successors decide first, asserts the apply frontier stalls
+// at the gap (in-order apply) while later slots are decided, then releases
+// the slot and asserts all replicas reach identical state with commit
+// callbacks in strict slot order.
+func TestSMROutOfOrderDecideAppliesInOrder(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	reps, stores, logs, net, _ := buildLockstepGroup(t, cfg, 43, 8, 1, 0)
+	defer func() {
+		for _, r := range reps {
+			_ = r.Close()
+		}
+	}()
+
+	// Park all consensus traffic of slot 1: slots 2..4 will decide while
+	// slot 1 cannot.
+	const gap = uint64(1)
+	net.SetHold(func(_, _ types.ProcessID, payload []byte) bool {
+		s, ok := payloadSlot(payload)
+		return ok && s == gap
+	})
+
+	const ops = 5 // slots 0..4
+	for i := 0; i < ops; i++ {
+		submitKV(t, reps[0], "ooo", i)
+	}
+	net.Drain(0)
+
+	// Slots beyond the gap decided out of order; the gap and everything
+	// after it must not have applied.
+	for i, r := range reps {
+		for s := gap + 1; s < ops; s++ {
+			if _, ok := r.Decided(s); !ok {
+				t.Fatalf("replica %d: slot %d undecided while slot %d is parked", i, s, gap)
+			}
+		}
+		if _, ok := r.Decided(gap); ok {
+			t.Fatalf("replica %d decided the parked slot", i)
+		}
+		if got := r.AppliedCount(); got != gap {
+			t.Fatalf("replica %d apply frontier %d, want %d (stalled at the gap)", i, got, gap)
+		}
+	}
+	// Commit observers must have seen exactly the contiguous prefix.
+	for i, l := range logs {
+		waitFor(t, 10*time.Second, func() bool { return l.len() >= int(gap) }, "prefix commits to drain")
+		if got := l.snapshot(); len(got) != int(gap) {
+			t.Fatalf("replica %d observed %d commits (%v) with the gap parked, want %d", i, len(got), got, gap)
+		}
+	}
+
+	// Release the gap: the log drains, in order, everywhere.
+	net.ReleaseHeld()
+	net.Drain(0)
+	for i, st := range stores {
+		if st.AppliedOps() != ops {
+			t.Fatalf("replica %d applied %d ops after release, want %d", i, st.AppliedOps(), ops)
+		}
+	}
+	for i, l := range logs {
+		waitFor(t, 10*time.Second, func() bool { return l.len() >= ops }, "all commits to drain")
+		got := l.snapshot()
+		if len(got) != ops {
+			t.Fatalf("replica %d observed %d commits, want %d", i, len(got), ops)
+		}
+		for s := 0; s < ops; s++ {
+			if got[s] != uint64(s) {
+				t.Fatalf("replica %d commit order %v: position %d is slot %d, want %d", i, got, s, got[s], s)
+			}
+		}
+	}
+	// Identical application state everywhere.
+	for i := 0; i < ops; i++ {
+		key := fmt.Sprintf("k%d", i)
+		ref, ok := stores[0].Get(key)
+		if !ok {
+			t.Fatalf("replica 0 lost %s", key)
+		}
+		for j, st := range stores {
+			if v, ok := st.Get(key); !ok || v != ref {
+				t.Fatalf("replica %d: %s=%q (present=%v), want %q", j, key, v, ok, ref)
+			}
+		}
+	}
+}
+
+// TestSMROutOfOrderDecideLongerGap parks a slot while three successors
+// decide (the k+1..k+3 shape), with batching, and asserts the same
+// invariants plus the reproposal accounting: the parked slot's chunk is
+// never lost.
+func TestSMROutOfOrderDecideLongerGap(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	reps, stores, logs, net, _ := buildLockstepGroup(t, cfg, 44, 8, 2, 0)
+	defer func() {
+		for _, r := range reps {
+			_ = r.Close()
+		}
+	}()
+
+	const gap = uint64(2)
+	net.SetHold(func(_, _ types.ProcessID, payload []byte) bool {
+		s, ok := payloadSlot(payload)
+		return ok && s == gap
+	})
+	const ops = 12 // batches of 2 across 6 slots
+	for i := 0; i < ops; i++ {
+		submitKV(t, reps[0], "gap", i)
+	}
+	net.Drain(0)
+	for i, r := range reps {
+		if got := r.AppliedCount(); got != gap {
+			t.Fatalf("replica %d apply frontier %d, want %d", i, got, gap)
+		}
+		if decided := r.DecidedCount(); decided < 3 {
+			t.Fatalf("replica %d decided only %d slots past the gap, want >= 3 (k+1..k+3)", i, decided)
+		}
+	}
+	net.ReleaseHeld()
+	net.Drain(0)
+	for i, st := range stores {
+		if st.AppliedOps() != ops {
+			t.Fatalf("replica %d applied %d ops, want %d", i, st.AppliedOps(), ops)
+		}
+	}
+	for i, l := range logs {
+		waitFor(t, 10*time.Second, func() bool { return l.len() >= int(reps[i].AppliedCount()) }, "commits to drain")
+		got := l.snapshot()
+		for s := 1; s < len(got); s++ {
+			if got[s] != got[s-1]+1 {
+				t.Fatalf("replica %d commit order not contiguous ascending: %v", i, got)
+			}
+		}
+	}
+}
+
+// TestSMRCommitOrderUnderConcurrency is the regression test for the ordered
+// commit drainer: under a real concurrent pipelined workload (in-memory
+// transport, many slots deciding close together), every replica's OnCommit
+// stream must be strictly ascending by slot. The previous implementation
+// fired one goroutine per slot and could deliver slot 7 before slot 6.
+func TestSMRCommitOrderUnderConcurrency(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	scheme := sigcrypto.NewHMAC(cfg.N, 45)
+	net := transport.NewMemNetwork(cfg.N, 0)
+	defer func() { _ = net.Close() }()
+	reps := make([]*Replica, cfg.N)
+	stores := make([]*KVStore, cfg.N)
+	logs := make([]*commitLog, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		pid := types.ProcessID(i)
+		stores[i] = NewKVStore()
+		logs[i] = &commitLog{}
+		r, err := NewReplica(Config{
+			Cluster:     cfg,
+			Self:        pid,
+			Signer:      scheme.Signer(pid),
+			Verifier:    scheme.Verifier(),
+			Transport:   net.Transport(pid),
+			App:         stores[i],
+			OnCommit:    logs[i].record,
+			BaseTimeout: 200 * time.Millisecond,
+			WindowSize:  8,
+			MaxBatch:    2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = r
+	}
+	for _, r := range reps {
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, r := range reps {
+			_ = r.Close()
+		}
+	}()
+
+	const ops = 64
+	for i := 0; i < ops; i++ {
+		submitKV(t, reps[i%cfg.N], "order", i)
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		for _, st := range stores {
+			if st.AppliedOps() < ops {
+				return false
+			}
+		}
+		return true
+	}, "workload to apply")
+	for i := range reps {
+		i := i
+		waitFor(t, 10*time.Second, func() bool {
+			return uint64(logs[i].len()) >= reps[i].AppliedCount()
+		}, "commit queue to drain")
+		got := logs[i].snapshot()
+		if len(got) == 0 {
+			t.Fatalf("replica %d observed no commits", i)
+		}
+		if got[0] != 0 {
+			t.Fatalf("replica %d first commit is slot %d, want 0", i, got[0])
+		}
+		for s := 1; s < len(got); s++ {
+			if got[s] != got[s-1]+1 {
+				t.Fatalf("replica %d commit stream out of order at position %d: %v", i, s, got)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Crash/restart with a part-filled window
+// ---------------------------------------------------------------------------
+
+// TestSMRPipelineCrashRestartPartFilledWindow crashes a replica while the
+// live window is part-filled (a parked slot has undecided successors already
+// decided), runs several checkpoint intervals without it, restarts it with
+// empty state, and asserts it converges — the state-transfer path working
+// while the live window extends past the newest stable checkpoint.
+func TestSMRPipelineCrashRestartPartFilledWindow(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	const interval = uint64(4)
+	crashed := types.ProcessID(cfg.N - 1)
+	reps, stores, _, net, scheme := buildLockstepGroup(t, cfg, 46, 8, 1, interval)
+	defer func() {
+		for _, r := range reps {
+			if r != nil {
+				_ = r.Close()
+			}
+		}
+	}()
+
+	// Phase 1: a few slots everywhere.
+	for i := 0; i < 4; i++ {
+		submitKV(t, reps[0], "cw", i)
+		net.Drain(0)
+	}
+	if got := stores[crashed].AppliedOps(); got != 4 {
+		t.Fatalf("phase 1: crashed-to-be replica applied %d ops", got)
+	}
+
+	// Phase 2: park slot 5 so slots 6..9 decide out of order, leaving the
+	// window part-filled, then crash the replica in that state.
+	const gap = uint64(5)
+	net.SetHold(func(_, _ types.ProcessID, payload []byte) bool {
+		s, ok := payloadSlot(payload)
+		return ok && s == gap
+	})
+	for i := 4; i < 10; i++ {
+		submitKV(t, reps[0], "cw", i)
+	}
+	net.Drain(0)
+	if got := reps[0].AppliedCount(); got != gap {
+		t.Fatalf("phase 2: apply frontier %d, want stalled at %d", got, gap)
+	}
+	net.SetDown(crashed, true)
+	net.ReleaseHeld()
+	net.Drain(0)
+
+	// Phase 3: several checkpoint intervals without the crashed replica, so
+	// the survivors prune the slots it missed.
+	const phase3End = 10 + 3*int(interval) + 2
+	for i := 10; i < phase3End; i++ {
+		submitKV(t, reps[0], "cw", i)
+		net.Drain(0)
+	}
+	if cp, ok := reps[0].StableCheckpoint(); !ok || cp.Slot < 2*interval {
+		t.Fatalf("survivors lack an advanced stable checkpoint (ok=%v)", ok)
+	}
+
+	// Phase 4: restart with empty state; fresh traffic pulls it back in.
+	_ = reps[crashed].Close() // release the crashed instance's goroutines
+	reps[crashed] = nil
+	tr := net.Restart(crashed)
+	freshStore := NewKVStore()
+	freshLog := &commitLog{}
+	restarted, err := NewReplica(Config{
+		Cluster:            cfg,
+		Self:               crashed,
+		Signer:             scheme.Signer(crashed),
+		Verifier:           scheme.Verifier(),
+		Transport:          tr,
+		App:                freshStore,
+		OnCommit:           freshLog.record,
+		BaseTimeout:        time.Hour,
+		WindowSize:         8,
+		CheckpointInterval: interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.Start(); err != nil {
+		t.Fatal(err)
+	}
+	reps[crashed] = restarted
+
+	const totalOps = phase3End + 6
+	for i := phase3End; i < totalOps; i++ {
+		submitKV(t, reps[0], "cw", i)
+		net.Drain(0)
+	}
+	net.Drain(0)
+
+	if got, want := freshStore.AppliedOps(), stores[0].AppliedOps(); got != want {
+		t.Fatalf("restarted replica applied %d ops, survivor %d", got, want)
+	}
+	if got, want := restarted.AppliedCount(), reps[0].AppliedCount(); got != want {
+		t.Fatalf("restarted replica frontier %d, survivor %d", got, want)
+	}
+	for i := 0; i < totalOps; i++ {
+		key := fmt.Sprintf("k%d", i)
+		want, ok := stores[0].Get(key)
+		if !ok {
+			t.Fatalf("survivor lost %s", key)
+		}
+		if got, ok := freshStore.Get(key); !ok || got != want {
+			t.Fatalf("restarted replica: %s=%q (present=%v), want %q", key, got, ok, want)
+		}
+	}
+	// The restarted replica's commit stream is ascending and contiguous from
+	// wherever state transfer let it join.
+	waitFor(t, 10*time.Second, func() bool {
+		return freshLog.len() > 0
+	}, "restarted replica commits")
+	got := freshLog.snapshot()
+	for s := 1; s < len(got); s++ {
+		if got[s] != got[s-1]+1 {
+			t.Fatalf("restarted replica commit order not contiguous: %v", got)
+		}
+	}
+	if err := restarted.inflightInvariantErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Malformed decided batches are observable
+// ---------------------------------------------------------------------------
+
+// TestSMRMalformedBatchCounted: a decided value that fails DecodeBatch must
+// advance the log, apply nothing, and be counted on Stats() — previously it
+// was silently swallowed. No-op (empty) decisions must NOT count.
+func TestSMRMalformedBatchCounted(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	scheme := sigcrypto.NewHMAC(cfg.N, 47)
+	net := transport.NewMemNetwork(cfg.N, 0)
+	defer func() { _ = net.Close() }()
+	store := NewKVStore()
+	r, err := NewReplica(Config{
+		Cluster: cfg, Self: 0,
+		Signer: scheme.Signer(0), Verifier: scheme.Verifier(),
+		Transport: net.Transport(0), App: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	garbage := types.Value("garbage-not-a-batch-\xff\xff")
+	r.mu.Lock()
+	r.onDecideLocked(0, types.Decision{Value: garbage, View: 1, Path: types.FastPath})
+	r.onDecideLocked(1, types.Decision{Value: nil, View: 1, Path: types.FastPath}) // no-op
+	r.onDecideLocked(2, types.Decision{Value: EncodeBatch([]Command{
+		encodeRequest(&msg.Request{Client: "c", Seq: 1,
+			Op: []byte(EncodeKV(KVCommand{Op: OpSet, Client: "c", Seq: 1, Key: "x", Value: "1"}))}),
+	}), View: 1, Path: types.FastPath})
+	r.mu.Unlock()
+
+	st := r.Stats()
+	if st.MalformedBatches != 1 {
+		t.Fatalf("MalformedBatches=%d, want 1 (garbage counted once, no-op not counted)", st.MalformedBatches)
+	}
+	if st.AppliedSlots != 3 {
+		t.Fatalf("AppliedSlots=%d, want 3 (malformed and no-op slots still advance the log)", st.AppliedSlots)
+	}
+	if st.AppliedCommands != 1 {
+		t.Fatalf("AppliedCommands=%d, want 1", st.AppliedCommands)
+	}
+	if st.DecidedSlots != 3 {
+		t.Fatalf("DecidedSlots=%d, want 3", st.DecidedSlots)
+	}
+	if n := store.AppliedOps(); n != 1 {
+		t.Fatalf("store applied %d ops, want 1", n)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pending queue
+// ---------------------------------------------------------------------------
+
+func TestPendingQueueIndexedOps(t *testing.T) {
+	q := newPendingQueue()
+	mk := func(i int) Command { return Command(fmt.Sprintf("cmd-%03d", i)) }
+	for i := 0; i < 10; i++ {
+		if !q.PushBack(mk(i)) {
+			t.Fatalf("fresh PushBack(%d) rejected", i)
+		}
+	}
+	if q.PushBack(mk(3)) {
+		t.Fatal("duplicate PushBack accepted")
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len=%d, want 10", q.Len())
+	}
+	// O(1) middle removal preserves order of the rest.
+	if !q.Remove(mk(4)) || q.Remove(mk(4)) {
+		t.Fatal("Remove(middle) wrong")
+	}
+	if !q.Remove(mk(0)) || !q.Remove(mk(9)) {
+		t.Fatal("Remove(ends) wrong")
+	}
+	// Front re-insertion models a returned chunk: it must come out first.
+	if !q.PushFront(mk(4)) {
+		t.Fatal("PushFront rejected")
+	}
+	got := q.PopFront(3)
+	want := []int{4, 1, 2}
+	for i, w := range want {
+		if !got[i].Equal(mk(w)) {
+			t.Fatalf("PopFront[%d]=%q, want cmd-%03d", i, got[i], w)
+		}
+	}
+	// Filter drops non-matching, keeps order.
+	q.Filter(func(c Command) bool { return !c.Equal(mk(5)) && !c.Equal(mk(7)) })
+	rest := q.PopFront(10)
+	wantRest := []int{3, 6, 8}
+	if len(rest) != len(wantRest) {
+		t.Fatalf("after Filter: %d entries, want %d", len(rest), len(wantRest))
+	}
+	for i, w := range wantRest {
+		if !rest[i].Equal(mk(w)) {
+			t.Fatalf("after Filter [%d]=%q, want cmd-%03d", i, rest[i], w)
+		}
+	}
+	if q.Len() != 0 || q.head != nil || q.tail != nil {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+// BenchmarkPendingQueueRemove measures removal from a loaded queue — the
+// operation the apply loop performs once per applied command. With the
+// indexed queue it is O(1); the pre-index implementation scanned the whole
+// queue (O(pending) per applied command, quadratic per applied batch).
+func BenchmarkPendingQueueRemove(b *testing.B) {
+	for _, size := range []int{64, 1024, 16384} {
+		b.Run(fmt.Sprintf("queued=%d", size), func(b *testing.B) {
+			cmds := make([]Command, size)
+			for i := range cmds {
+				cmds[i] = Command(fmt.Sprintf("bench-cmd-%06d", i))
+			}
+			q := newPendingQueue()
+			for _, c := range cmds {
+				q.PushBack(c)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := cmds[i%size]
+				q.Remove(c)
+				q.PushBack(c)
+			}
+		})
+	}
+}
+
+// BenchmarkPendingQueueRemoveLinearScan is the pre-index baseline for
+// comparison: the same workload against a plain slice with the old
+// scan-and-shift removal.
+func BenchmarkPendingQueueRemoveLinearScan(b *testing.B) {
+	for _, size := range []int{64, 1024, 16384} {
+		b.Run(fmt.Sprintf("queued=%d", size), func(b *testing.B) {
+			cmds := make([]Command, size)
+			for i := range cmds {
+				cmds[i] = Command(fmt.Sprintf("bench-cmd-%06d", i))
+			}
+			pending := append([]Command(nil), cmds...)
+			drop := func(cmd Command) {
+				for i, p := range pending {
+					if p.Equal(cmd) {
+						pending = append(pending[:i], pending[i+1:]...)
+						return
+					}
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := cmds[i%size]
+				drop(c)
+				pending = append(pending, c)
+			}
+		})
+	}
+}

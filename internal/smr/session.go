@@ -139,11 +139,11 @@ func (r *Replica) HandleRequest(req *msg.Request, reply ReplyFunc) error {
 	}
 	enc := encodeRequest(req)
 	r.enqueueRequestLocked(req, enc)
-	// Forward to every replica so the next slot's leader can propose it.
+	// Forward to every replica so the next slots' leaders can propose it.
 	w := wire.NewWriter(len(enc) + 10)
 	w.Uvarint(ctrlSlot)
 	_ = r.cfg.Transport.Broadcast(append(w.Bytes(), enc...))
-	r.ensureSlotLocked(r.next)
+	r.fillWindowLocked()
 	r.mu.Unlock()
 	return nil
 }
@@ -168,17 +168,21 @@ func (r *Replica) staleLocked(req *msg.Request) bool {
 }
 
 // enqueueRequestLocked queues an encoded request for proposal unless it is
-// stale or already queued. The caller holds r.mu.
+// stale, already queued, or already in flight in a live slot proposal — the
+// in-flight check is what keeps concurrent slot chunks disjoint when the
+// same request arrives again (a retransmission, or a ctrlSlot forward of a
+// command this replica already assigned). The caller holds r.mu.
 func (r *Replica) enqueueRequestLocked(req *msg.Request, enc Command) {
 	if r.staleLocked(req) {
 		return
 	}
-	for _, p := range r.pending {
-		if p.Equal(enc) {
-			return
-		}
+	if _, live := r.inflight[string(enc)]; live {
+		return
 	}
-	r.pending = append(r.pending, enc.Clone())
+	if r.pending.Contains(enc) {
+		return // duplicate arrival; don't clone just to discard the copy
+	}
+	r.pending.PushBack(enc.Clone())
 }
 
 // compactPendingLocked drops queued commands the session table has since
@@ -187,17 +191,10 @@ func (r *Replica) enqueueRequestLocked(req *msg.Request, enc Command) {
 // under different bytes, or a later sequence number of the client commits
 // first). The caller holds r.mu.
 func (r *Replica) compactPendingLocked() {
-	kept := r.pending[:0]
-	for _, p := range r.pending {
-		if req, ok := decodeRequest(p); ok && r.staleLocked(req) {
-			continue
-		}
-		kept = append(kept, p)
-	}
-	for i := len(kept); i < len(r.pending); i++ {
-		r.pending[i] = nil // release dropped tails
-	}
-	r.pending = kept
+	r.pending.Filter(func(p Command) bool {
+		req, ok := decodeRequest(p)
+		return !ok || !r.staleLocked(req)
+	})
 }
 
 // executeRequestLocked runs one decided command through the session table:
@@ -215,6 +212,7 @@ func (r *Replica) executeRequestLocked(slot uint64, cmd Command) {
 		return
 	}
 	result := r.cfg.App.Apply(slot, Command(req.Op).Clone())
+	r.statApplied++
 	sess := r.sessions[req.Client]
 	if sess == nil {
 		sess = &session{}

@@ -5,7 +5,12 @@
 //
 // Each log slot is one independent consensus instance (a core.Process); all
 // instances of a replica share one transport, with payloads tagged by slot
-// number, and one wall clock. Slots are decided and applied in order.
+// number, and one wall clock. Replication is pipelined: up to
+// Config.WindowSize slots run concurrently, each proposing a disjoint chunk
+// of the pending queue, so throughput is bounded by the window rather than
+// by one consensus round-trip per batch. Slots may decide out of order;
+// commands are applied strictly in slot order, and commit observers see
+// slots in order too.
 //
 // Every command is an encoded msg.Request carrying a (client, sequence)
 // pair; replicas deduplicate by per-client session tables (see session.go),
@@ -19,6 +24,7 @@ package smr
 import (
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
@@ -57,7 +63,9 @@ type App interface {
 }
 
 // CommitFunc observes every decided slot (including no-ops), after the
-// application applied it.
+// application applied it. Callbacks are delivered from one drainer
+// goroutine, strictly in slot order — even when slots decide out of order,
+// an observer never sees slot k+1 before slot k.
 type CommitFunc func(slot uint64, cmd Command, d types.Decision)
 
 // Config parameterizes a Replica.
@@ -73,13 +81,14 @@ type Config struct {
 	Transport transport.Transport
 	// App consumes decided commands. Required.
 	App App
-	// OnCommit, if set, observes decided slots.
+	// OnCommit, if set, observes decided slots in slot order.
 	OnCommit CommitFunc
 	// BaseTimeout is the view-1 timer of each consensus instance.
 	BaseTimeout time.Duration
 	// WindowSize bounds how many consensus instances may be live at once
 	// (default 8): the replica participates in slots
-	// [lowestUndecided, lowestUndecided+WindowSize).
+	// [lowestUndecided, lowestUndecided+WindowSize), and starts an instance
+	// for every slot in the window for which fresh pending commands exist.
 	WindowSize int
 	// MaxBatch is the maximum number of pending commands a leader packs
 	// into one proposal (default 1, i.e. no batching).
@@ -91,6 +100,29 @@ type Config struct {
 	// implement Snapshotter. Zero disables checkpointing: the log grows
 	// without bound, as in the bare protocol.
 	CheckpointInterval uint64
+}
+
+// Stats is a point-in-time snapshot of replica counters (see
+// Replica.Stats).
+type Stats struct {
+	// DecidedSlots counts slots decided locally (consensus or certified
+	// state-transfer tail).
+	DecidedSlots uint64
+	// AppliedSlots is the in-order apply frontier (== AppliedCount).
+	AppliedSlots uint64
+	// AppliedCommands counts well-formed requests executed by the
+	// application.
+	AppliedCommands uint64
+	// MalformedBatches counts decided non-empty slot values that failed
+	// DecodeBatch — evidence of a garbage-proposing (Byzantine) leader.
+	MalformedBatches uint64
+	// Reproposed counts commands returned to the pending queue because the
+	// slot that proposed them decided a different value.
+	Reproposed uint64
+	// InflightCommands is the number of commands currently assigned to live
+	// slot proposals; PendingCommands is the number awaiting assignment.
+	InflightCommands int
+	PendingCommands  int
 }
 
 // Replica is one member of the replicated state machine.
@@ -108,10 +140,21 @@ type Replica struct {
 	decided  map[uint64]types.Decision
 	sessions map[types.ClientID]*session  // per-client dedup + reply cache
 	replyTo  map[types.ClientID]ReplyFunc // local reply routes (not replicated)
-	pending  []Command
-	next     uint64 // lowest slot not yet decided locally
-	applyPtr uint64 // lowest slot not yet applied
+	pending  *pendingQueue                // commands awaiting slot assignment
+	inflight map[string]uint64            // command bytes -> live slot proposing it
+	next     uint64                       // lowest slot not yet decided locally
+	applyPtr uint64                       // lowest slot not yet applied
 	wg       sync.WaitGroup
+
+	// Ordered commit delivery (see commitDrainer).
+	commitQ    []commitEvent
+	commitCond *sync.Cond
+
+	// Counters behind Stats().
+	statDecided   uint64
+	statApplied   uint64
+	statMalformed uint64
+	statReprop    uint64
 
 	// Checkpoint / state-transfer state (see checkpoint.go, statetransfer.go).
 	certs      map[uint64]*msg.CommitCert            // per-slot commit certificates
@@ -133,6 +176,17 @@ type Replica struct {
 type slot struct {
 	proc  *core.Process
 	timer *time.Timer
+	// proposed is the disjoint chunk of the pending queue this replica
+	// proposed for the slot. The commands are tracked as in-flight until the
+	// slot decides; those the decision does not contain are returned to the
+	// pending queue (see releaseProposedLocked).
+	proposed []Command
+}
+
+// commitEvent is one decided slot queued for the ordered OnCommit drainer.
+type commitEvent struct {
+	slot uint64
+	d    types.Decision
 }
 
 // NewReplica builds an SMR replica.
@@ -159,7 +213,7 @@ func NewReplica(cfg Config) (*Replica, error) {
 			return nil, errors.New("smr: CheckpointInterval requires App to implement Snapshotter")
 		}
 	}
-	return &Replica{
+	r := &Replica{
 		cfg:         cfg,
 		th:          quorum.New(cfg.Cluster),
 		interval:    cfg.CheckpointInterval,
@@ -168,11 +222,15 @@ func NewReplica(cfg Config) (*Replica, error) {
 		decided:     make(map[uint64]types.Decision),
 		sessions:    make(map[types.ClientID]*session),
 		replyTo:     make(map[types.ClientID]ReplyFunc),
+		pending:     newPendingQueue(),
+		inflight:    make(map[string]uint64),
 		certs:       make(map[uint64]*msg.CommitCert),
 		ckptVotes:   make(map[types.ProcessID][]*msg.Checkpoint),
 		snaps:       make(map[uint64][]byte),
 		serveTime:   make(map[types.ProcessID]time.Time),
-	}, nil
+	}
+	r.commitCond = sync.NewCond(&r.mu)
+	return r, nil
 }
 
 // Start begins participating.
@@ -184,6 +242,10 @@ func (r *Replica) Start() error {
 	}
 	r.started = true
 	r.start = time.Now()
+	if r.cfg.OnCommit != nil {
+		r.wg.Add(1)
+		go r.commitDrainer()
+	}
 	r.cfg.Transport.SetHandler(r.onPayload)
 	return r.cfg.Transport.Start()
 }
@@ -204,6 +266,7 @@ func (r *Replica) Close() error {
 	if r.fetchTimer != nil {
 		r.fetchTimer.Stop()
 	}
+	r.commitCond.Broadcast()
 	r.mu.Unlock()
 	err := r.cfg.Transport.Close()
 	r.wg.Wait()
@@ -245,11 +308,27 @@ func (r *Replica) AppliedCount() uint64 {
 	return r.applyPtr
 }
 
-// PendingCount returns the number of commands waiting to be decided.
+// PendingCount returns the number of commands waiting to be decided:
+// queued for assignment or in flight in a live slot proposal.
 func (r *Replica) PendingCount() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.pending)
+	return r.pending.Len() + len(r.inflight)
+}
+
+// Stats returns a snapshot of the replica's counters.
+func (r *Replica) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		DecidedSlots:     r.statDecided,
+		AppliedSlots:     r.applyPtr,
+		AppliedCommands:  r.statApplied,
+		MalformedBatches: r.statMalformed,
+		Reproposed:       r.statReprop,
+		InflightCommands: len(r.inflight),
+		PendingCommands:  r.pending.Len(),
+	}
 }
 
 func (r *Replica) now() core.Time { return core.Time(time.Since(r.start)) }
@@ -299,8 +378,72 @@ func saltedMsg(salt, msg []byte) []byte {
 	return append(out, msg...)
 }
 
+// fillWindowLocked starts a consensus instance for every slot in the live
+// window [next, next+WindowSize) that has none yet, as long as fresh
+// pending commands remain to propose — the pipelining step: each new slot
+// consumes its own disjoint chunk of the queue, so up to WindowSize
+// proposals replicate concurrently instead of one per consensus round-trip.
+// The caller holds r.mu.
+//
+// This runs on every request arrival, so the saturated case must stay
+// cheap: when the window holds no startable slot the function returns after
+// an O(WindowSize) scan, without touching the queue. Compaction (dropping
+// queued requests the session table has proven stale, so they never enter a
+// proposal batch — a Byzantine or slow client retransmitting executed
+// requests must not bloat batches with replays) runs once, and only when a
+// slot can actually start.
+func (r *Replica) fillWindowLocked() {
+	if r.pending.Len() == 0 {
+		return
+	}
+	startable := false
+	for s := r.next; s < r.next+uint64(r.cfg.WindowSize); s++ {
+		if _, started := r.slots[s]; started {
+			continue
+		}
+		if _, dec := r.decided[s]; dec {
+			continue // decided out of order; proposing is pointless
+		}
+		startable = true
+		break
+	}
+	if !startable {
+		return
+	}
+	r.compactPendingLocked()
+	for s := r.next; s < r.next+uint64(r.cfg.WindowSize); s++ {
+		if r.pending.Len() == 0 {
+			break
+		}
+		if _, started := r.slots[s]; started {
+			continue
+		}
+		if _, dec := r.decided[s]; dec {
+			continue
+		}
+		r.startSlotLocked(s)
+	}
+}
+
+// takeChunkLocked removes up to MaxBatch commands from the pending queue
+// and marks them in flight for slot s. The chunks of concurrent slots are
+// disjoint by construction: a command leaves the queue when assigned and
+// returns only if its slot decides a different value, so no command is ever
+// proposed in two live slots of this replica at once. The caller holds r.mu
+// and has compacted the queue.
+func (r *Replica) takeChunkLocked(s uint64) []Command {
+	chunk := r.pending.PopFront(r.cfg.MaxBatch)
+	for _, c := range chunk {
+		r.inflight[string(c)] = s
+	}
+	return chunk
+}
+
 // ensureSlotLocked creates the consensus instance for slot s if it is
-// within the live window and does not exist yet.
+// within the live window and does not exist yet — the on-traffic path: a
+// peer's message arrived for a slot this replica has not started. The queue
+// is compacted before a chunk is taken; fillWindowLocked compacts once for
+// the whole window and calls startSlotLocked directly.
 func (r *Replica) ensureSlotLocked(s uint64) *slot {
 	if sl, ok := r.slots[s]; ok {
 		return sl
@@ -308,17 +451,19 @@ func (r *Replica) ensureSlotLocked(s uint64) *slot {
 	if s < r.next || s >= r.next+uint64(r.cfg.WindowSize) {
 		return nil
 	}
-	// Stale queued requests must never enter a proposal batch: a Byzantine
-	// (or merely slow) client retransmitting executed requests must not be
-	// able to bloat batches with replays.
 	r.compactPendingLocked()
+	return r.startSlotLocked(s)
+}
+
+// startSlotLocked creates the instance for slot s, proposing a fresh
+// disjoint chunk of the pending queue (or a no-op when none is queued). The
+// caller holds r.mu, has bounds-checked s against the window, and has
+// compacted the queue.
+func (r *Replica) startSlotLocked(s uint64) *slot {
+	chunk := r.takeChunkLocked(s)
 	input := types.Value(nil)
-	if len(r.pending) > 0 {
-		k := len(r.pending)
-		if k > r.cfg.MaxBatch {
-			k = r.cfg.MaxBatch
-		}
-		input = EncodeBatch(r.pending[:k])
+	if len(chunk) > 0 {
+		input = EncodeBatch(chunk)
 	}
 	salt := slotSalt(s)
 	proc, err := core.NewProcess(r.cfg.Cluster, r.cfg.Self,
@@ -328,7 +473,7 @@ func (r *Replica) ensureSlotLocked(s uint64) *slot {
 	if err != nil {
 		return nil // configuration was validated at construction; unreachable
 	}
-	sl := &slot{proc: proc}
+	sl := &slot{proc: proc, proposed: chunk}
 	r.slots[s] = sl
 	r.applyActions(s, sl, proc.Init(r.now()))
 	return sl
@@ -355,9 +500,7 @@ func (r *Replica) onPayload(from types.ProcessID, payload []byte) {
 			return
 		}
 		r.enqueueRequestLocked(req, Command(inner))
-		if len(r.pending) > 0 {
-			r.ensureSlotLocked(r.next)
-		}
+		r.fillWindowLocked()
 		return
 	}
 	m, err := msg.Decode(inner)
@@ -462,13 +605,67 @@ func (r *Replica) onDecideLocked(s uint64, d types.Decision) {
 		return // already applied (and possibly pruned); re-recording would leak
 	}
 	r.decided[s] = d
+	r.statDecided++
+	r.releaseProposedLocked(s, d.Value)
 	r.advanceLocked()
 }
 
+// releaseProposedLocked settles slot s's in-flight chunk against the value
+// the slot decided: every proposed command leaves the in-flight index, and
+// the ones the decision does not contain are returned to the front of the
+// pending queue (unless meanwhile stale) so a later window slot re-proposes
+// them. The caller holds r.mu.
+func (r *Replica) releaseProposedLocked(s uint64, decided types.Value) {
+	sl, ok := r.slots[s]
+	if !ok || len(sl.proposed) == 0 {
+		return
+	}
+	inDecided := make(map[string]bool)
+	if len(decided) > 0 {
+		if cmds, err := DecodeBatch(decided); err == nil {
+			for _, c := range cmds {
+				inDecided[string(c)] = true
+			}
+		}
+	}
+	// Walk in reverse so PushFront restores the chunk's original order.
+	for i := len(sl.proposed) - 1; i >= 0; i-- {
+		c := sl.proposed[i]
+		delete(r.inflight, string(c))
+		if inDecided[string(c)] {
+			continue // the decision carries it; the apply loop executes it
+		}
+		if req, ok := decodeRequest(c); !ok || r.staleLocked(req) {
+			continue // executed through another slot's batch meanwhile
+		}
+		if r.pending.PushFront(c) {
+			r.statReprop++
+		}
+	}
+	sl.proposed = nil
+}
+
+// releaseSlotLocked returns a slot's whole in-flight chunk to the pending
+// queue — used when the instance is discarded without a locally observed
+// decision (state transfer restored past it). Commands the restored session
+// table proves executed are dropped instead. The caller holds r.mu.
+func (r *Replica) releaseSlotLocked(sl *slot) {
+	for i := len(sl.proposed) - 1; i >= 0; i-- {
+		c := sl.proposed[i]
+		delete(r.inflight, string(c))
+		if req, ok := decodeRequest(c); !ok || r.staleLocked(req) {
+			continue
+		}
+		r.pending.PushFront(c)
+	}
+	sl.proposed = nil
+}
+
 // advanceLocked applies consecutive decided slots, garbage-collects stale
-// instances, and starts the next slot when commands are pending. It is the
-// common tail of deciding a slot and of restoring a snapshot (restoring can
-// unblock already-decided successors of the restored checkpoint).
+// instances, and keeps the live window full while commands are pending. It
+// is the common tail of deciding a slot and of restoring a snapshot
+// (restoring can unblock already-decided successors of the restored
+// checkpoint).
 func (r *Replica) advanceLocked() {
 	// Advance the lowest-undecided pointer.
 	for {
@@ -477,31 +674,37 @@ func (r *Replica) advanceLocked() {
 		}
 		r.next++
 	}
-	// Apply decided slots in order. Each slot value is a batch of encoded
-	// requests; the session table skips requests already executed through
-	// an earlier slot, so resubmissions and overlapping batches stay
-	// idempotent (exactly-once per (client, seq)).
+	// Apply decided slots in order. Slots may have decided out of order;
+	// applyPtr only moves over a contiguous decided prefix, so application
+	// (and commit observation) is strictly in slot order. Each slot value is
+	// a batch of encoded requests; the session table skips requests already
+	// executed through an earlier slot, so resubmissions and overlapping
+	// batches stay idempotent (exactly-once per (client, seq)).
 	for {
 		dd, ok := r.decided[r.applyPtr]
 		if !ok {
 			break
 		}
-		if cmds, err := DecodeBatch(dd.Value); err == nil {
-			for _, cmd := range cmds {
-				if len(cmd) == 0 {
-					continue
+		if len(dd.Value) > 0 {
+			if cmds, err := DecodeBatch(dd.Value); err == nil {
+				for _, cmd := range cmds {
+					if len(cmd) == 0 {
+						continue
+					}
+					r.executeRequestLocked(r.applyPtr, cmd)
 				}
-				r.executeRequestLocked(r.applyPtr, cmd)
+			} else {
+				// A decided value that is not a batch can only come from a
+				// Byzantine leader; the slot still advances the log, but the
+				// event must be observable.
+				r.statMalformed++
+				log.Printf("smr: replica %s: slot %d decided a malformed batch (%d bytes): %v",
+					r.cfg.Self, r.applyPtr, len(dd.Value), err)
 			}
 		}
 		if r.cfg.OnCommit != nil {
-			slotNum, cb := r.applyPtr, r.cfg.OnCommit
-			ddCopy := dd
-			r.wg.Add(1)
-			go func() {
-				defer r.wg.Done()
-				cb(slotNum, Command(ddCopy.Value), ddCopy)
-			}()
+			r.commitQ = append(r.commitQ, commitEvent{slot: r.applyPtr, d: dd})
+			r.commitCond.Signal()
 		}
 		r.applyPtr++
 		r.maybeCheckpointLocked()
@@ -517,21 +720,43 @@ func (r *Replica) advanceLocked() {
 			delete(r.slots, num)
 		}
 	}
-	// Keep replicating while fresh commands are queued (compaction first:
-	// a queue holding only stale replays must not spin up no-op slots).
-	r.compactPendingLocked()
-	if len(r.pending) > 0 {
-		r.ensureSlotLocked(r.next)
+	// Keep replicating while fresh commands are queued.
+	r.fillWindowLocked()
+}
+
+// commitDrainer delivers OnCommit callbacks in slot order. One goroutine
+// drains a queue the apply loop fills, so observers see slot k before k+1
+// no matter how the underlying consensus instances interleaved; the
+// callback runs without holding r.mu, so it may call back into the replica.
+func (r *Replica) commitDrainer() {
+	defer r.wg.Done()
+	r.mu.Lock()
+	for {
+		for len(r.commitQ) == 0 && !r.closed {
+			r.commitCond.Wait()
+		}
+		if len(r.commitQ) == 0 {
+			r.mu.Unlock()
+			return // closed and fully drained
+		}
+		// Take the whole batch: events appended while the lock is released
+		// land on a fresh slice and are processed next round, so slot order
+		// is preserved and a drained backlog's backing array (holding whole
+		// batched decision values) is released rather than retained.
+		batch := r.commitQ
+		r.commitQ = nil
+		r.mu.Unlock()
+		for _, ev := range batch {
+			r.cfg.OnCommit(ev.slot, Command(ev.d.Value), ev.d)
+		}
+		r.mu.Lock()
 	}
 }
 
+// dropPending removes an applied command from the proposal queue in O(1)
+// (see pendingQueue); it runs once per applied command, so it must not scan.
 func (r *Replica) dropPending(cmd Command) {
-	for i, p := range r.pending {
-		if p.Equal(cmd) {
-			r.pending = append(r.pending[:i], r.pending[i+1:]...)
-			return
-		}
-	}
+	r.pending.Remove(cmd)
 }
 
 // envelope prefixes an encoded message with its slot number.
@@ -546,6 +771,6 @@ func envelope(s uint64, m msg.Message) []byte {
 func (r *Replica) String() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return fmt.Sprintf("smr[%s next=%d applied=%d pending=%d]",
-		r.cfg.Self, r.next, r.applyPtr, len(r.pending))
+	return fmt.Sprintf("smr[%s next=%d applied=%d pending=%d inflight=%d]",
+		r.cfg.Self, r.next, r.applyPtr, r.pending.Len(), len(r.inflight))
 }

@@ -228,6 +228,12 @@ func (r *Replica) onStateSnapshotLocked(from types.ProcessID, m *msg.StateSnapsh
 // application state is replaced by the snapshot, everything at or below the
 // checkpoint slot is discarded, and the checkpoint becomes this replica's
 // own stable checkpoint (so it can in turn serve state transfer and prune).
+// With pipelined replication the discarded range can include live window
+// slots this replica proposed chunks for but never saw decide; pruning them
+// (stabilizeLocked) returns those in-flight commands to the pending queue,
+// and the compaction below then drops whichever of them the restored
+// session table proves already executed — so a caught-up replica neither
+// loses nor replays commands its part-filled window was carrying.
 // The caller holds r.mu; the snapshot digest has been verified against cert.
 func (r *Replica) restoreLocked(cert *msg.CheckpointCert, snap []byte) {
 	s := cert.CP.Slot

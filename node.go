@@ -124,7 +124,16 @@ type KVReplicaConfig struct {
 	ClientListenAddr string
 	// BaseTimeout is the per-slot view-1 timer (500ms if zero).
 	BaseTimeout time.Duration
-	// OnCommit, if set, observes every decided log slot.
+	// WindowSize bounds how many log slots may run consensus concurrently
+	// (default 8). The replica pipelines replication across the window —
+	// each live slot proposes a disjoint chunk of the pending commands —
+	// while commands are still applied strictly in slot order. 1 disables
+	// pipelining (one consensus round-trip per batch).
+	WindowSize int
+	// MaxBatch is the maximum number of pending commands packed into one
+	// slot proposal (default 1, i.e. no batching).
+	MaxBatch int
+	// OnCommit, if set, observes every decided log slot, in slot order.
 	OnCommit func(slot uint64, cmd []byte)
 	// CheckpointInterval, when positive, enables checkpointing: every
 	// CheckpointInterval applied slots the replica emits a signed
@@ -185,6 +194,8 @@ func NewKVReplica(cfg KVReplicaConfig) (*KVReplica, error) {
 		App:                store,
 		OnCommit:           onCommit,
 		BaseTimeout:        cfg.BaseTimeout,
+		WindowSize:         cfg.WindowSize,
+		MaxBatch:           cfg.MaxBatch,
 		CheckpointInterval: cfg.CheckpointInterval,
 	})
 	if err != nil {
@@ -308,6 +319,15 @@ func (r *KVReplica) HandleRequest(clientID string, seq uint64, op []byte, onRepl
 // SessionCount returns the number of live client sessions on this replica
 // (bounded by active clients, not log length).
 func (r *KVReplica) SessionCount() int { return r.replica.SessionCount() }
+
+// ReplicaStats is a snapshot of a replica's SMR counters: decided and
+// applied slots, executed commands, malformed decided batches (evidence of
+// a garbage-proposing leader), re-proposed commands, and the current
+// in-flight/pending queue sizes.
+type ReplicaStats = smr.Stats
+
+// Stats returns a snapshot of this replica's SMR counters.
+func (r *KVReplica) Stats() ReplicaStats { return r.replica.Stats() }
 
 // Get reads a key from the local replica state.
 func (r *KVReplica) Get(key string) (string, bool) { return r.store.Get(key) }

@@ -7,10 +7,10 @@ GO ?= go
 # committed at the repo root (and CI uploads the regenerated one as a
 # workflow artifact), so the perf trajectory is recorded run over run.
 # FUZZTIME is the per-target budget of the fuzz target.
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-json fuzz smoke fmt fmt-check vet clean
+.PHONY: all build test race bench bench-json fuzz smoke fmt fmt-check vet recovery-race clean
 
 all: build test
 
@@ -32,12 +32,15 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 ## bench-json: run every benchmark once with -benchmem (including the SMR
-## throughput benchmark) and convert the output to a JSON report via
-## cmd/benchjson, so the perf trajectory is recorded run over run
+## throughput benchmark), then re-run the durable-throughput sweep with a
+## real iteration count (a single iteration is far too noisy to read a
+## sync-mode ratio from), and convert the combined output to a JSON report
+## via cmd/benchjson, so the perf trajectory is recorded run over run
 ## (two steps, not a pipe: a pipe would report the converter's exit status
 ## and let a failing benchmark run slip through CI green)
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... > $(BENCH_JSON).txt
+	$(GO) test -run '^$$' -bench . -skip '^BenchmarkSMRDurableThroughput$$' -benchtime 1x -benchmem ./... > $(BENCH_JSON).txt
+	$(GO) test -run '^$$' -bench '^BenchmarkSMRDurableThroughput$$' -benchtime 30x . >> $(BENCH_JSON).txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < $(BENCH_JSON).txt
 	rm -f $(BENCH_JSON).txt
 
@@ -48,10 +51,14 @@ fuzz:
 	$(GO) test ./internal/msg -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/msg -run '^$$' -fuzz '^FuzzDecodeReply$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzDecodeClientFrame$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/storage -run '^$$' -fuzz '^FuzzDecodeWALRecord$$' -fuzztime $(FUZZTIME)
 
-## smoke: boot a 4-replica cluster as one OS process per replica, serving a
-## networked TCP client, with one replica process killed mid-workload; the
-## command's own -timeout watchdog kills the children if anything hangs
+## smoke: boot a 4-replica cluster as one OS process per replica (each with
+## a durable data dir), serving a networked TCP client; one replica is
+## kill -9'd mid-workload, restarted from its data dir, and a different
+## replica is killed after it — so finishing proves the recovered replica
+## rejoined consensus; the command's own -timeout watchdog kills the
+## children if anything hangs
 smoke:
 	$(GO) run ./cmd/fastbft-cluster -f 1 -t 1 -procs -ops 40 -timeout 120s
 
@@ -70,6 +77,15 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-## clean: drop build and test caches scoped to this module
+## recovery-race: the crash-recovery and torn-write suites under the race
+## detector (CI runs this as its own step; the paths mix goroutines,
+## fsync ordering, and process state, so interleavings deserve extra dice)
+recovery-race:
+	$(GO) test -race -count=2 -run 'Durable|TornWrite|Recover|WALRecord|Checkpoint' ./internal/storage ./internal/smr
+	$(GO) test -race -run 'TestKVReplicaDurableRestart' .
+
+## clean: drop build and test caches scoped to this module, plus any
+## leftover replica data directories from local runs
 clean:
 	$(GO) clean ./...
+	rm -rf fastbft-cluster-data-* /tmp/fastbft-cluster-data-* 2>/dev/null || true

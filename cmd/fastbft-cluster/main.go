@@ -13,11 +13,15 @@
 //
 // With -procs, the KV phase spawns one child process per replica (this same
 // binary, re-executed in replica mode). Each child binds a replica-to-replica
-// listener and a client-facing listener, the parent distributes the peer
+// listener and a client-facing listener, keeps a durable data directory
+// (write-ahead log + checkpoint snapshots), the parent distributes the peer
 // address table over the children's stdin, and then drives the workload as a
 // real external client: one OS process executing commands against replicas in
-// other OS processes over TCP, confirmed by f+1 matching replies per write —
-// including after one replica process is killed mid-workload.
+// other OS processes over TCP, confirmed by f+1 matching replies per write.
+// Mid-workload, one replica process is kill -9'd, later restarted from its
+// data directory at its old addresses, and then a different replica is
+// killed — leaving exactly n−f alive, so continued progress proves the
+// recovered replica rejoined consensus.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -199,15 +204,31 @@ type child struct {
 	out   *bufio.Scanner
 }
 
-// runMultiProcess is the networked KV phase: one OS process per replica,
-// the parent process acting as a real external client over TCP. Halfway
-// through the workload one replica process is killed outright; the client
-// must not notice beyond latency.
+// drillCkptInterval is the checkpoint interval of the multi-process
+// cluster: it enables state transfer (the restarted replica catches up on
+// what it missed while dead) and WAL truncation in the children's data
+// directories.
+const drillCkptInterval = 8
+
+// runMultiProcess is the networked KV phase: one OS process per replica
+// (each durable, with its own data directory), the parent process acting
+// as a real external client over TCP. The crash drill: a third of the way
+// in, one replica process is killed outright (kill -9 — no flush, no
+// goodbye); at two thirds it is restarted from its data directory at its
+// old addresses, and a *different* replica is killed. From then on only
+// n−f replicas are alive, so every further confirmed write proves the
+// recovered replica rejoined consensus for real — progress is impossible
+// without it.
 func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time.Duration) error {
 	exe, err := os.Executable()
 	if err != nil {
 		return err
 	}
+	dataRoot, err := os.MkdirTemp("", "fastbft-cluster-data-")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dataRoot) }()
 	deadline := time.Now().Add(timeout)
 	children := make([]*child, cfg.N)
 	killAll := func() {
@@ -225,27 +246,44 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 			}
 		}
 	}()
-	for i := 0; i < cfg.N; i++ {
+	// spawn launches the replica-child process i. addr/clientAddr pin the
+	// listen addresses (a restarted replica must come back where its peers
+	// expect it); empty strings let the OS pick.
+	spawn := func(i int, addr, clientAddr string) (*child, error) {
+		if addr == "" {
+			addr, clientAddr = "127.0.0.1:0", "127.0.0.1:0"
+		}
 		cmd := exec.Command(exe,
 			"-self", strconv.Itoa(i),
 			"-f", strconv.Itoa(f),
 			"-t", strconv.Itoa(t),
 			"-seed", strconv.FormatInt(seed, 10),
+			"-ckpt", strconv.Itoa(drillCkptInterval),
+			"-addr", addr,
+			"-clientaddr", clientAddr,
+			"-datadir", filepath.Join(dataRoot, fmt.Sprintf("replica-%d", i)),
 		)
 		cmd.Env = append(os.Environ(), replicaEnv+"=1")
 		cmd.Stderr = os.Stderr
 		stdin, err := cmd.StdinPipe()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		return &child{cmd: cmd, stdin: stdin, out: bufio.NewScanner(stdout)}, nil
+	}
+	for i := 0; i < cfg.N; i++ {
+		c, err := spawn(i, "", "")
+		if err != nil {
 			return err
 		}
-		children[i] = &child{cmd: cmd, stdin: stdin, out: bufio.NewScanner(stdout)}
+		children[i] = c
 	}
 	// Watchdog: whatever goes wrong below — a child that never reports, a
 	// client that never settles — killing the children unblocks every read
@@ -266,18 +304,22 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 		peerAddrs[i], clientAddrs[i] = fields[0], fields[1]
 	}
 	peerLine := "PEERS " + strings.Join(peerAddrs, " ") + "\n"
-	for i, c := range children {
-		if _, err := io.WriteString(c.stdin, peerLine); err != nil {
+	ready := func(i int) error {
+		if _, err := io.WriteString(children[i].stdin, peerLine); err != nil {
 			return fmt.Errorf("replica process %d: %w", i, err)
 		}
-	}
-	for i, c := range children {
-		if _, err := c.expect("READY", 0); err != nil {
+		if _, err := children[i].expect("READY", 0); err != nil {
 			return fmt.Errorf("replica process %d: %w", i, err)
 		}
+		return nil
 	}
-	fmt.Printf("spawned %d replica processes, client listeners at %s\n",
-		cfg.N, strings.Join(clientAddrs, " "))
+	for i := range children {
+		if err := ready(i); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("spawned %d replica processes (data dirs under %s), client listeners at %s\n",
+		cfg.N, dataRoot, strings.Join(clientAddrs, " "))
 
 	// The parent is now nothing but a client: it holds no replica handles,
 	// only the address book and the cluster's public identities.
@@ -288,15 +330,47 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 	}
 	defer func() { _ = cl.Close() }()
 
-	crashAt := ops / 2
-	crash := cfg.N - 1 // a non-leader: the fast path stays available (t=1 covers it)
+	// Both drill victims are non-leaders (view-1 leads every slot's fast
+	// path, and t=1 keeps the fast path available with one fault).
+	crash1 := cfg.N - 1
+	crash2 := cfg.N - 2
+	killAt := ops / 3
+	restartAt := 2 * ops / 3
 	start := time.Now()
 	for i := 0; i < ops; i++ {
-		if i == crashAt {
-			if err := children[crash].cmd.Process.Kill(); err != nil {
-				return fmt.Errorf("killing replica process %d: %w", crash, err)
+		switch i {
+		case killAt:
+			if err := children[crash1].cmd.Process.Kill(); err != nil {
+				return fmt.Errorf("killing replica process %d: %w", crash1, err)
 			}
-			fmt.Printf("crash: killed replica process %d after %d writes\n", crash, i)
+			_ = children[crash1].cmd.Wait()
+			fmt.Printf("crash: killed replica process %d after %d writes\n", crash1, i)
+		case restartAt:
+			// The replica comes back from its data directory, at the same
+			// addresses its peers still dial.
+			c, err := spawn(crash1, peerAddrs[crash1], clientAddrs[crash1])
+			if err != nil {
+				return fmt.Errorf("restarting replica process %d: %w", crash1, err)
+			}
+			children[crash1] = c
+			fields, err := c.expect("ADDRS", 2)
+			if err != nil {
+				return fmt.Errorf("restarted replica %d: %w", crash1, err)
+			}
+			if fields[0] != peerAddrs[crash1] || fields[1] != clientAddrs[crash1] {
+				return fmt.Errorf("restarted replica %d bound %v, want its old addresses", crash1, fields)
+			}
+			if err := ready(crash1); err != nil {
+				return err
+			}
+			fmt.Printf("recovery: restarted replica process %d from its data dir after %d writes\n", crash1, i)
+			// With the recovered replica back, lose a different one: from
+			// here on progress requires the restarted replica to vote.
+			if err := children[crash2].cmd.Process.Kill(); err != nil {
+				return fmt.Errorf("killing replica process %d: %w", crash2, err)
+			}
+			_ = children[crash2].cmd.Wait()
+			fmt.Printf("crash: killed replica process %d — further progress needs the recovered replica\n", crash2)
 		}
 		key, val := fmt.Sprintf("key-%d", i), fmt.Sprintf("value-%d", i)
 		res, err := cl.Set(key, val)
@@ -311,12 +385,12 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 		}
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("networked kv: %d writes from an external client process, each confirmed by f+1 replicas over TCP, with replica %d crashed mid-workload (%.2fs, %.0f ops/s)\n",
-		ops, crash, elapsed.Seconds(), float64(ops)/elapsed.Seconds())
+	fmt.Printf("networked kv: %d writes from an external client process, each confirmed by f+1 replicas over TCP, with replica %d kill -9'd and restarted from its data dir and replica %d crashed after it (%.2fs, %.0f ops/s)\n",
+		ops, crash1, crash2, elapsed.Seconds(), float64(ops)/elapsed.Seconds())
 
 	// Graceful shutdown: closing stdin tells a child to stop.
 	for i, c := range children {
-		if i != crash {
+		if i != crash2 {
 			_ = c.stdin.Close()
 		}
 	}
@@ -351,6 +425,10 @@ func replicaMain(args []string) error {
 	t := fs.Int("t", 1, "fast-path fault threshold")
 	seed := fs.Int64("seed", 1, "deterministic key seed shared with the parent")
 	ckpt := fs.Uint64("ckpt", 0, "checkpoint interval (0 disables)")
+	addr := fs.String("addr", "127.0.0.1:0", "replica-to-replica listen address (pinned on restart)")
+	clientAddr := fs.String("clientaddr", "127.0.0.1:0", "client-facing listen address (pinned on restart)")
+	dataDir := fs.String("datadir", "", "data directory for the write-ahead log and snapshots (empty = in-memory)")
+	syncMode := fs.String("sync", "group", "WAL fsync policy: none, group, or always")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -360,9 +438,11 @@ func replicaMain(args []string) error {
 		Cluster:            cfg,
 		Self:               fastbft.ProcessID(*self),
 		Keys:               keys,
-		ListenAddr:         "127.0.0.1:0",
-		ClientListenAddr:   "127.0.0.1:0",
+		ListenAddr:         *addr,
+		ClientListenAddr:   *clientAddr,
 		CheckpointInterval: *ckpt,
+		DataDir:            *dataDir,
+		SyncMode:           *syncMode,
 	})
 	if err != nil {
 		return err

@@ -31,14 +31,18 @@ func TestRunSmallCluster(t *testing.T) {
 }
 
 // TestRunMultiProcessCluster is the end-to-end acceptance run of the
-// networked client protocol: a client in this OS process executes commands
-// against n replicas running as separate OS processes over TCP, with one
-// replica process killed mid-workload.
+// networked client protocol and the durability subsystem: a client in this
+// OS process executes commands against n replicas running as separate OS
+// processes over TCP. Mid-workload one replica process is kill -9'd; it is
+// later restarted from its data directory at its old addresses, and a
+// different replica is killed — from then on only n−f replicas are alive,
+// so every further confirmed write (f+1 matching replies) proves the
+// recovered replica rejoined consensus from disk.
 func TestRunMultiProcessCluster(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns one OS process per replica")
 	}
-	if err := run([]string{"-f", "1", "-t", "1", "-procs", "-ops", "12", "-timeout", "90s"}); err != nil {
+	if err := run([]string{"-f", "1", "-t", "1", "-procs", "-ops", "18", "-timeout", "90s"}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -8,6 +8,11 @@
 //	go run ./examples/kvstore             # client over in-process handles
 //	go run ./examples/kvstore -network    # client over the replicas'
 //	                                      # client-facing TCP listeners
+//	go run ./examples/kvstore -datadir /tmp/kv  # durable replicas: every
+//	                                      # replica keeps a write-ahead log
+//	                                      # and snapshots under its own
+//	                                      # subdirectory and recovers its
+//	                                      # state from it across restarts
 //
 // In -network mode every replica additionally binds a client-facing TCP
 // listener, and the client session reaches the cluster the way a real
@@ -20,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"time"
 
 	fastbft "repro"
@@ -27,23 +34,37 @@ import (
 
 func main() {
 	network := flag.Bool("network", false, "serve the client over TCP client listeners instead of in-process handles")
+	dataDir := flag.String("datadir", "", "base directory for durable replica state (empty = in-memory)")
 	flag.Parse()
-	if err := run(*network); err != nil {
+	if err := run(*network, *dataDir); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(network bool) error {
+func run(network bool, dataDir string) error {
 	cfg := fastbft.GeneralizedConfig(2, 1) // n = 7
 	mode := "in-process client handles"
 	if network {
 		mode = "networked TCP client"
 	}
+	if dataDir != "" {
+		mode += ", durable data dirs under " + dataDir
+	}
 	fmt.Printf("starting %s replicated KV store over TCP (%s)\n", cfg, mode)
 
-	keys, err := fastbft.GenerateKeys(cfg.N)
-	if err != nil {
-		return err
+	// Durable state is only meaningful under stable identities: a restarted
+	// replica verifies its recovered checkpoint certificate against the
+	// cluster keys, so -datadir pins deterministic demo keys across runs
+	// (a real deployment distributes persistent keys out of band).
+	var keys *fastbft.Keys
+	var err error
+	if dataDir != "" {
+		keys = fastbft.GenerateTestKeys(cfg.N, 42)
+	} else {
+		keys, err = fastbft.GenerateKeys(cfg.N)
+		if err != nil {
+			return err
+		}
 	}
 	reps := make([]*fastbft.KVReplica, cfg.N)
 	addrs := make([]string, cfg.N)
@@ -57,6 +78,13 @@ func run(network bool) error {
 		}
 		if network {
 			rcfg.ClientListenAddr = "127.0.0.1:0"
+		}
+		if dataDir != "" {
+			// Durability pairs with checkpointing: the WAL is truncated at
+			// every stable checkpoint, and a restarted replica recovers
+			// from its snapshot plus the log after it.
+			rcfg.DataDir = filepath.Join(dataDir, fmt.Sprintf("replica-%d", i))
+			rcfg.CheckpointInterval = 8
 		}
 		r, err := fastbft.NewKVReplica(rcfg)
 		if err != nil {
@@ -84,12 +112,16 @@ func run(network bool) error {
 	// sequence numbers, retransmits on timeout, and returns each result
 	// once f+1 replicas confirm it. Replicas deduplicate by (client, seq),
 	// so retransmitted requests execute exactly once. In -network mode the
-	// session runs over TCP against the client-facing listeners.
+	// session runs over TCP against the client-facing listeners. The id
+	// carries the process id: a session's sequence numbering is forever
+	// (and with -datadir it survives replica restarts), so each run needs
+	// a fresh identity.
+	clientID := fmt.Sprintf("demo-client-%d", os.Getpid())
 	var cl *fastbft.KVClient
 	if network {
-		cl, err = fastbft.NewKVNetworkClient("demo-client", 0, cfg, keys, clientAddrs)
+		cl, err = fastbft.NewKVNetworkClient(clientID, 0, cfg, keys, clientAddrs)
 	} else {
-		cl, err = fastbft.NewKVClient("demo-client", 0, reps...)
+		cl, err = fastbft.NewKVClient(clientID, 0, reps...)
 	}
 	if err != nil {
 		return err
@@ -111,7 +143,7 @@ func run(network bool) error {
 		}
 	}
 	fmt.Printf("client session %q: %d writes confirmed by f+1 replicas each\n",
-		"demo-client", cl.Seq())
+		clientID, cl.Seq())
 
 	// Wait for every replica to apply every write.
 	deadline := time.Now().Add(time.Minute)

@@ -3,6 +3,7 @@ package fastbft
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -318,5 +319,120 @@ func TestGenerateKeys(t *testing.T) {
 		ListenAddr: "127.0.0.1:0",
 	}); err == nil {
 		t.Fatal("mismatched keys accepted")
+	}
+}
+
+// TestKVReplicaDurableRestart exercises the public durability surface: a
+// cluster of durable replicas (KVReplicaConfig.DataDir) executes a
+// workload, every replica is shut down, and the whole cluster restarts
+// from its data directories — state intact, and still replicating.
+func TestKVReplicaDurableRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real TCP cluster twice")
+	}
+	cfg := GeneralizedConfig(1, 1)
+	keys := GenerateTestKeys(cfg.N, 17)
+	base := t.TempDir()
+	boot := func() []*KVReplica {
+		reps := make([]*KVReplica, cfg.N)
+		addrs := make([]string, cfg.N)
+		for i := 0; i < cfg.N; i++ {
+			r, err := NewKVReplica(KVReplicaConfig{
+				Cluster:            cfg,
+				Self:               ProcessID(i),
+				Keys:               keys,
+				ListenAddr:         "127.0.0.1:0",
+				CheckpointInterval: 4,
+				DataDir:            filepath.Join(base, fmt.Sprintf("r%d", i)),
+				SyncMode:           "group",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps[i] = r
+			addrs[i] = r.Addr()
+		}
+		for _, r := range reps {
+			if err := r.SetPeers(addrs); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Start(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return reps
+	}
+	closeAll := func(reps []*KVReplica) {
+		for _, r := range reps {
+			_ = r.Close()
+		}
+	}
+	waitApplied := func(reps []*KVReplica, n uint64) {
+		t.Helper()
+		deadline := time.Now().Add(time.Minute)
+		for {
+			done := true
+			for _, r := range reps {
+				if r.AppliedOps() < n {
+					done = false
+					break
+				}
+			}
+			if done {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %d applied ops", n)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	reps := boot()
+	const ops = 10
+	for i := 0; i < ops; i++ {
+		if err := reps[0].Set(fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i)); err != nil {
+			closeAll(reps)
+			t.Fatal(err)
+		}
+	}
+	waitApplied(reps, ops)
+	closeAll(reps)
+
+	// Second incarnation: everything back from disk before any traffic.
+	reps = boot()
+	defer closeAll(reps)
+	for i, r := range reps {
+		for k := 0; k < ops; k++ {
+			if v, ok := r.Get(fmt.Sprintf("key-%d", k)); !ok || v != fmt.Sprintf("val-%d", k) {
+				t.Fatalf("replica %d lost key-%d across restart: %q %v", i, k, v, ok)
+			}
+		}
+	}
+	if err := reps[1].Set("after-restart", "yes"); err != nil {
+		t.Fatal(err)
+	}
+	waitApplied(reps, ops+1)
+	for i, r := range reps {
+		if v, ok := r.Get("after-restart"); !ok || v != "yes" {
+			t.Fatalf("replica %d: post-restart replication broken (%q %v)", i, v, ok)
+		}
+	}
+}
+
+// TestKVReplicaRejectsBadSyncMode pins the config validation.
+func TestKVReplicaRejectsBadSyncMode(t *testing.T) {
+	cfg := GeneralizedConfig(1, 1)
+	keys := GenerateTestKeys(cfg.N, 18)
+	_, err := NewKVReplica(KVReplicaConfig{
+		Cluster:    cfg,
+		Self:       0,
+		Keys:       keys,
+		ListenAddr: "127.0.0.1:0",
+		DataDir:    t.TempDir(),
+		SyncMode:   "paranoid",
+	})
+	if err == nil {
+		t.Fatal("unknown sync mode accepted")
 	}
 }

@@ -75,6 +75,15 @@ type Replica struct {
 	adopted *adoptedProposal
 	latest  *msg.CommitCert // latest commit certificate collected
 
+	// restoredAcks is the crash-recovery equivocation guard (see
+	// RestoreVoteState): for every view the pre-crash incarnation acked in,
+	// the value it acked. In such a view this incarnation only ever re-acks
+	// that exact value — re-sending an identical ack is harmless (and good
+	// for liveness: the original may have been lost), but acking a
+	// different value in the same view is the equivocation that breaks the
+	// fast path's intersection argument. Nil unless restored.
+	restoredAcks map[types.View]types.Value
+
 	decided  bool
 	decision types.Decision
 
@@ -158,6 +167,36 @@ func (r *Replica) CurrentVote() msg.VoteRecord {
 		Cert:  r.adopted.cert.Clone(),
 		Tau:   r.adopted.tau.Clone(),
 		CC:    r.latest.Clone(),
+	}
+}
+
+// RestoreVoteState seeds a recovering replica with the vote state its
+// pre-crash incarnation persisted, and must be called before Init. acks
+// maps every view the process acked in to the value it acked (the
+// equivocation guard: in those views only the identical value is ever
+// acked again). adopted, when non-nil and not the nil vote, re-adopts the
+// pre-crash vote record (x, u, σ, τ) so the recovered process's votes in
+// future view changes still carry it — the extended paper's assumption
+// that processes remember their adopted votes across steps, which only
+// holds in practice with stable storage. The record's CC field, if set,
+// restores the latest collected commit certificate.
+func (r *Replica) RestoreVoteState(acks map[types.View]types.Value, adopted *msg.VoteRecord) {
+	if len(acks) > 0 {
+		r.restoredAcks = make(map[types.View]types.Value, len(acks))
+		for v, x := range acks {
+			r.restoredAcks[v] = x.Clone()
+		}
+	}
+	if adopted != nil && !adopted.Nil {
+		r.adopted = &adoptedProposal{
+			value: adopted.Value.Clone(),
+			view:  adopted.View,
+			cert:  adopted.Cert.Clone(),
+			tau:   adopted.Tau.Clone(),
+		}
+	}
+	if adopted != nil && adopted.CC != nil {
+		r.updateLatestCC(adopted.CC)
 	}
 }
 
@@ -297,6 +336,12 @@ func (r *Replica) onPropose(from types.ProcessID, m *msg.Propose) []Action {
 		return nil
 	}
 	if !m.Cert.VerifyFor(r.verifier, r.th, m.X, m.View) {
+		return nil
+	}
+	if prev, ok := r.restoredAcks[m.View]; ok && !prev.Equal(m.X) {
+		// The pre-crash incarnation acked a different value in this view;
+		// acking this one would be equivocation. Stay silent — a view
+		// change resolves the slot if it is still undecided.
 		return nil
 	}
 

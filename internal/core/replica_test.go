@@ -395,3 +395,67 @@ func TestLeaderIgnoresBogusVotesAndCertAcks(t *testing.T) {
 		t.Fatal("unsolicited CertAck processed")
 	}
 }
+
+// TestRestoreVoteStateBlocksEquivocation models crash recovery: a replica
+// that acked value x in view 1, lost its memory, and was restored from its
+// persisted vote record must re-ack the identical proposal (the original
+// ack may have been lost — re-sending it is safe and keeps the slot live)
+// but never ack a different value in that view, even when the equivocating
+// proposal is otherwise perfectly valid.
+func TestRestoreVoteStateBlocksEquivocation(t *testing.T) {
+	f := newFixture(types.Generalized(1, 1), 33)
+	leader := types.View(1).Leader(f.cfg.N)
+	var follower types.ProcessID
+	for i := 0; i < f.cfg.N; i++ {
+		if types.ProcessID(i) != leader {
+			follower = types.ProcessID(i)
+			break
+		}
+	}
+
+	// Pre-crash incarnation acks (1, x) and its vote record is persisted.
+	r1 := f.newReplica(t, follower, types.Value("own-input"))
+	x := types.Value("x")
+	propX := &msg.Propose{View: 1, X: x, Tau: f.scheme.Signer(leader).Sign(msg.ProposeDigest(x, 1))}
+	if countKind(r1.Deliver(leader, propX), msg.KindAck) != 1 {
+		t.Fatal("pre-crash replica did not ack")
+	}
+	persisted := r1.CurrentVote()
+
+	// Post-crash incarnation, restored before Init.
+	r2, err := core.NewReplica(f.cfg, follower, f.scheme.Signer(follower), f.verifier(), types.Value("own-input"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.RestoreVoteState(map[types.View]types.Value{1: x}, &persisted)
+	r2.Init()
+
+	// The adopted vote survives the crash: the recovered replica's vote in
+	// a future view change still carries (x, 1).
+	if vote := r2.CurrentVote(); vote.Nil || !vote.Value.Equal(x) || vote.View != 1 {
+		t.Fatalf("restored vote lost: %+v", vote)
+	}
+	// An equivocating proposal for the acked view is never acked...
+	y := types.Value("y")
+	propY := &msg.Propose{View: 1, X: y, Tau: f.scheme.Signer(leader).Sign(msg.ProposeDigest(y, 1))}
+	if countKind(r2.Deliver(leader, propY), msg.KindAck) != 0 {
+		t.Fatal("recovered replica equivocated against its pre-crash ack")
+	}
+	// ...and the adopted record is not overwritten by the refusal.
+	if vote := r2.CurrentVote(); !vote.Value.Equal(x) {
+		t.Fatal("refused proposal overwrote the restored vote")
+	}
+	// The identical proposal is re-acked (an identical ack cannot
+	// equivocate, and the pre-crash one may never have been delivered).
+	if countKind(r2.Deliver(leader, propX), msg.KindAck) != 1 {
+		t.Fatal("recovered replica refused to re-ack its own pre-crash value")
+	}
+	// A later view is unrestricted: the guard pins only acked views.
+	r2.EnterView(2)
+	leader2 := types.View(2).Leader(f.cfg.N)
+	okCert := f.progressCert(y, 2)
+	propY2 := &msg.Propose{View: 2, X: y, Cert: okCert, Tau: f.scheme.Signer(leader2).Sign(msg.ProposeDigest(y, 2))}
+	if countKind(r2.Deliver(leader2, propY2), msg.KindAck) != 1 {
+		t.Fatal("restored guard leaked into views the replica never acked in")
+	}
+}

@@ -73,11 +73,33 @@ func (m *StateSnapshot) Kind() Kind { return KindStateSnapshot }
 // InView implements Message.
 func (m *StateSnapshot) InView() types.View { return types.NoView }
 
+// SnapshotChunk carries one size-bounded piece of a stable-checkpoint
+// snapshot too large for a single StateSnapshot frame. The chunks of one
+// snapshot share the certificate that binds the snapshot's digest; the
+// receiver reassembles them in offset order and accepts the whole only if
+// its SHA-256 digest matches the certificate — the same authentication as
+// the single-frame path, applied to the reassembled bytes. Total is the
+// full snapshot size, so the receiver knows when reassembly is complete
+// (and can refuse absurd claims before buffering anything).
+type SnapshotChunk struct {
+	Cert   CheckpointCert
+	Total  uint64
+	Offset uint64
+	Data   []byte
+}
+
+// Kind implements Message.
+func (m *SnapshotChunk) Kind() Kind { return KindSnapshotChunk }
+
+// InView implements Message.
+func (m *SnapshotChunk) InView() types.View { return types.NoView }
+
 // Compile-time interface checks.
 var (
 	_ Message = (*Checkpoint)(nil)
 	_ Message = (*FetchState)(nil)
 	_ Message = (*StateSnapshot)(nil)
+	_ Message = (*SnapshotChunk)(nil)
 )
 
 // CheckpointCert certifies a checkpoint: CertQuorum (f+1) signatures from

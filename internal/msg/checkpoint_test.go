@@ -74,3 +74,32 @@ func TestCheckpointEqualClone(t *testing.T) {
 		t.Fatal("checkpoints with different slots compare equal")
 	}
 }
+
+// TestSnapshotChunkCodecRoundTrip pins the wire form of chunked
+// state-transfer snapshots.
+func TestSnapshotChunkCodecRoundTrip(t *testing.T) {
+	s := testScheme()
+	in := &SnapshotChunk{
+		Cert:   *sampleCheckpointCert(s),
+		Total:  1 << 20,
+		Offset: 4096,
+		Data:   []byte("one chunk of a large snapshot"),
+	}
+	buf := Encode(in)
+	m, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := m.(*SnapshotChunk)
+	if !ok {
+		t.Fatalf("decoded %T", m)
+	}
+	if !out.Cert.CP.Equal(in.Cert.CP) || len(out.Cert.Sigs) != len(in.Cert.Sigs) ||
+		out.Total != in.Total || out.Offset != in.Offset || string(out.Data) != string(in.Data) {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	// Strictness: trailing bytes are rejected.
+	if _, err := Decode(append(buf, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}

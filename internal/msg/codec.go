@@ -79,6 +79,11 @@ func Encode(m Message) []byte {
 		w.Uvarint(t.Slot)
 		w.Int32(int32(t.Replica))
 		w.BytesField(t.Result)
+	case *SnapshotChunk:
+		t.Cert.encode(w)
+		w.Uvarint(t.Total)
+		w.Uvarint(t.Offset)
+		w.BytesField(t.Data)
 	default:
 		// Unreachable for messages defined in this package; a zero-length
 		// buffer fails decoding loudly on the other side.
@@ -203,6 +208,13 @@ func Decode(buf []byte) (Message, error) {
 		t.Slot = r.Uvarint()
 		t.Replica = types.ProcessID(r.Int32())
 		t.Result = r.BytesField()
+		m = t
+	case KindSnapshotChunk:
+		t := &SnapshotChunk{}
+		t.Cert = decodeCheckpointCert(r)
+		t.Total = r.Uvarint()
+		t.Offset = r.Uvarint()
+		t.Data = r.BytesField()
 		m = t
 	default:
 		return nil, fmt.Errorf("msg: unknown kind %d", uint8(kind))

@@ -52,6 +52,10 @@ const (
 	// KindReply is a replica's response to an executed client request; f+1
 	// matching replies convince the client (see Reply).
 	KindReply
+	// KindSnapshotChunk carries one piece of a chunked state-transfer
+	// snapshot, authenticated by the reassembled digest against the
+	// checkpoint certificate (see SnapshotChunk).
+	KindSnapshotChunk
 )
 
 // String implements fmt.Stringer.
@@ -85,6 +89,8 @@ func (k Kind) String() string {
 		return "request"
 	case KindReply:
 		return "reply"
+	case KindSnapshotChunk:
+		return "snapshotchunk"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -62,7 +62,10 @@ func (r *Replica) maybeCheckpointLocked() {
 	sum := sha256.Sum256(snap)
 	cp := types.Checkpoint{Slot: s, StateHash: sum[:]}
 	m := &msg.Checkpoint{CP: cp, Phi: r.cfg.Signer.Sign(msg.CheckpointDigest(cp))}
-	_ = r.cfg.Transport.Broadcast(envelope(syncSlot, m))
+	// Ordered, not durably gated: the digest is a deterministic function of
+	// the decided log, so a recovered replica could only ever re-sign the
+	// identical digest (see sendOrderedLocked).
+	r.broadcastOrderedLocked(envelope(syncSlot, m))
 	r.onCheckpointLocked(r.cfg.Self, m)
 }
 
@@ -143,6 +146,9 @@ func (r *Replica) stabilizeLocked(cert *msg.CheckpointCert, snap []byte) {
 	s := cert.CP.Slot
 	r.stable = cert
 	r.stableSnap = snap
+	if r.chunkAsm != nil && r.chunkAsm.cert.CP.Slot <= s {
+		r.chunkAsm = nil // a half-assembled older snapshot is moot now
+	}
 	for num, sl := range r.slots {
 		if num <= s {
 			if sl.timer != nil {
@@ -186,6 +192,9 @@ func (r *Replica) stabilizeLocked(cert *msg.CheckpointCert, snap []byte) {
 			r.ckptVotes[sender] = kept
 		}
 	}
+	// Durably install the checkpoint: snapshot file first, then the WAL is
+	// truncated to the records still live above it (see durable.go).
+	r.persistCheckpointLocked(cert, snap)
 }
 
 // StableCheckpoint returns the replica's stable checkpoint, if one exists.

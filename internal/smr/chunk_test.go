@@ -1,0 +1,195 @@
+package smr
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/types"
+)
+
+// withSmallSnapshotFrames shrinks the single-frame state-transfer budget
+// and the chunk size so a modest KV state exercises the chunked path that
+// production only needs past 4 MiB.
+func withSmallSnapshotFrames(t *testing.T, frameBudget, chunk int) {
+	t.Helper()
+	oldBudget, oldChunk := maxResponseBytes, snapChunkSize
+	maxResponseBytes, snapChunkSize = frameBudget, chunk
+	t.Cleanup(func() { maxResponseBytes, snapChunkSize = oldBudget, oldChunk })
+}
+
+// TestChunkedSnapshotCatchUp re-runs the crashed-replica catch-up with a
+// stable snapshot too large for one StateSnapshot frame: the responder
+// must stream it as SnapshotChunk messages and the restarted replica must
+// reassemble, digest-verify, and restore it — closing the old single-frame
+// size limit.
+func TestChunkedSnapshotCatchUp(t *testing.T) {
+	withSmallSnapshotFrames(t, 512, 300)
+	cfg := types.Generalized(1, 1)
+	const interval = 4
+	reps, stores, net, scheme := buildCkptGroup(t, cfg, 91, interval)
+	crashed := types.ProcessID(cfg.N - 1)
+	defer func() {
+		for i, r := range reps {
+			if types.ProcessID(i) != crashed {
+				_ = r.Close()
+			}
+		}
+		_ = net.Close()
+	}()
+
+	// Values sized so the composite snapshot dwarfs the shrunken frame
+	// budget, forcing multiple chunks.
+	pad := make([]byte, 200)
+	for i := range pad {
+		pad[i] = byte('a' + i%26)
+	}
+	bigOps := func(from, to int) {
+		for i := from; i < to; i++ {
+			cmd := EncodeKV(KVCommand{Op: OpSet, Client: "c", Seq: uint64(i),
+				Key: fmt.Sprintf("k%d", i), Value: fmt.Sprintf("v%d-%s", i, pad)})
+			if err := reps[0].Submit(cmd); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	bigOps(0, 4)
+	waitFor(t, 30*time.Second, func() bool {
+		for _, st := range stores {
+			if st.AppliedOps() < 4 {
+				return false
+			}
+		}
+		return true
+	}, "phase-1 application")
+
+	if err := reps[crashed].Close(); err != nil {
+		t.Fatal(err)
+	}
+	const phase2 = 4 + 3*interval + 4
+	for i := 4; i < phase2; i++ {
+		bigOps(i, i+1)
+		waitFor(t, 30*time.Second, func() bool {
+			return stores[0].AppliedOps() >= uint64(i+1)
+		}, "phase-2 paced application")
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		cp, ok := reps[0].StableCheckpoint()
+		return ok && cp.Slot >= 2*interval
+	}, "survivors to advance their stable checkpoint")
+
+	// Confirm the premise: the survivors' stable snapshot really does not
+	// fit the single-frame budget, so only chunking can ship it.
+	reps[0].mu.Lock()
+	snapLen := len(reps[0].stableSnap)
+	reps[0].mu.Unlock()
+	if snapLen <= maxResponseBytes {
+		t.Fatalf("test premise broken: stable snapshot %d bytes fits the %d-byte frame budget", snapLen, maxResponseBytes)
+	}
+
+	tr := net.Restart(crashed)
+	freshStore := NewKVStore()
+	restarted, err := NewReplica(Config{
+		Cluster:            cfg,
+		Self:               crashed,
+		Signer:             scheme.Signer(crashed),
+		Verifier:           scheme.Verifier(),
+		Transport:          tr,
+		App:                freshStore,
+		BaseTimeout:        200 * time.Millisecond,
+		CheckpointInterval: interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = restarted.Close() }()
+
+	const totalOps = phase2 + 6
+	bigOps(phase2, totalOps)
+	waitFor(t, 60*time.Second, func() bool {
+		return stores[0].AppliedOps() >= totalOps && freshStore.AppliedOps() >= totalOps
+	}, "restarted replica to catch up through chunked state transfer")
+
+	for i := 0; i < totalOps; i++ {
+		key := fmt.Sprintf("k%d", i)
+		want, ok := stores[0].Get(key)
+		if !ok {
+			t.Fatalf("survivor lost key %s", key)
+		}
+		if got, ok := freshStore.Get(key); !ok || got != want {
+			t.Fatalf("restarted replica: %s present=%v, mismatch", key, ok)
+		}
+	}
+	cp, ok := restarted.StableCheckpoint()
+	if !ok || cp.Slot < 2*interval {
+		t.Fatalf("restarted replica did not adopt a checkpoint past the outage (ok=%v slot=%d)", ok, cp.Slot)
+	}
+}
+
+// TestSnapshotChunkReassemblyRejectsHostileChunks drives the reassembly
+// handler directly with adversarial inputs: chunks must be ignored unless
+// a fetch is outstanding, the first chunk must carry a verifying
+// certificate, offsets must be contiguous, size claims sane, and a
+// completed reassembly whose digest does not match the certificate must
+// not restore anything.
+func TestSnapshotChunkReassemblyRejectsHostileChunks(t *testing.T) {
+	cfg := types.Generalized(1, 1)
+	reps, stores, net, _ := buildCkptGroup(t, cfg, 92, 4)
+	defer func() {
+		for _, r := range reps {
+			_ = r.Close()
+		}
+		_ = net.Close()
+	}()
+	r := reps[0]
+	before := stores[0].AppliedOps()
+
+	chunk := func(slot uint64, hash []byte, total, off uint64, data []byte) *msg.SnapshotChunk {
+		return &msg.SnapshotChunk{
+			Cert:   msg.CheckpointCert{CP: types.Checkpoint{Slot: slot, StateHash: hash}},
+			Total:  total,
+			Offset: off,
+			Data:   data,
+		}
+	}
+
+	r.mu.Lock()
+	// No fetch outstanding: dropped outright.
+	r.onSnapshotChunkLocked(chunk(100, []byte("h"), 10, 0, []byte("xxxxx")))
+	if r.chunkAsm != nil {
+		r.mu.Unlock()
+		t.Fatal("chunk buffered without an outstanding fetch")
+	}
+	// Pretend a fetch is outstanding from here on.
+	r.fetchAt = r.applyPtr + 1
+	// Unsigned certificate: no buffering.
+	r.onSnapshotChunkLocked(chunk(100, []byte("h"), 10, 0, []byte("xxxxx")))
+	if r.chunkAsm != nil {
+		r.mu.Unlock()
+		t.Fatal("chunk buffered under an unverifiable certificate")
+	}
+	// Absurd size claims: rejected before any allocation.
+	r.onSnapshotChunkLocked(chunk(100, []byte("h"), maxSnapshotBytes+1, 0, []byte("x")))
+	r.onSnapshotChunkLocked(chunk(100, []byte("h"), 4, 3, []byte("xx"))) // overruns Total
+	if r.chunkAsm != nil {
+		r.mu.Unlock()
+		t.Fatal("over-limit chunk buffered")
+	}
+	// Non-zero offset with no assembly in progress: dropped.
+	r.onSnapshotChunkLocked(chunk(100, []byte("h"), 10, 5, []byte("xxxxx")))
+	if r.chunkAsm != nil {
+		r.mu.Unlock()
+		t.Fatal("mid-stream chunk started an assembly")
+	}
+	r.fetchAt = 0
+	r.mu.Unlock()
+
+	if stores[0].AppliedOps() != before {
+		t.Fatal("hostile chunks changed application state")
+	}
+}

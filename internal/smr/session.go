@@ -123,15 +123,15 @@ func (r *Replica) HandleRequest(req *msg.Request, reply ReplyFunc) error {
 	}
 	if sess := r.sessions[req.Client]; sess != nil && req.Seq <= sess.lastSeq {
 		// Stale: reject before it ever enters a proposal batch. Serve the
-		// cached reply for an exact retransmission of the last execution.
-		var cached *msg.Reply
+		// cached reply for an exact retransmission of the last execution —
+		// through the same durability gate as a first-time reply: the
+		// session entry proves execution, but the decision record behind it
+		// may still be riding an in-flight fsync, and a reply is a promise
+		// the command survives a crash.
 		if reply != nil && req.Seq == sess.lastSeq {
-			cached = r.cachedReplyLocked(req.Client, sess)
+			r.dispatchReplyLocked(reply, r.cachedReplyLocked(req.Client, sess))
 		}
 		r.mu.Unlock()
-		if cached != nil {
-			reply(cached)
-		}
 		return nil
 	}
 	if reply != nil {
@@ -139,10 +139,12 @@ func (r *Replica) HandleRequest(req *msg.Request, reply ReplyFunc) error {
 	}
 	enc := encodeRequest(req)
 	r.enqueueRequestLocked(req, enc)
-	// Forward to every replica so the next slots' leaders can propose it.
+	// Forward to every replica so the next slots' leaders can propose it
+	// (ordered, not durably gated: the forwarded bytes are the client's,
+	// not replica state).
 	w := wire.NewWriter(len(enc) + 10)
 	w.Uvarint(ctrlSlot)
-	_ = r.cfg.Transport.Broadcast(append(w.Bytes(), enc...))
+	r.broadcastOrderedLocked(append(w.Bytes(), enc...))
 	r.fillWindowLocked()
 	r.mu.Unlock()
 	return nil
@@ -222,12 +224,9 @@ func (r *Replica) executeRequestLocked(slot uint64, cmd Command) {
 	sess.lastSlot = slot
 	sess.lastReply = result
 	if cb := r.replyTo[req.Client]; cb != nil {
-		rep := r.cachedReplyLocked(req.Client, sess)
-		r.wg.Add(1)
-		go func() {
-			defer r.wg.Done()
-			cb(rep)
-		}()
+		// With storage the dispatch waits for the slot's decision record to
+		// be durable: a reply is a promise the command survives a crash.
+		r.dispatchReplyLocked(cb, r.cachedReplyLocked(req.Client, sess))
 	}
 }
 

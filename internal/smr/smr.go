@@ -32,6 +32,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/quorum"
 	"repro/internal/sigcrypto"
+	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -100,6 +101,16 @@ type Config struct {
 	// implement Snapshotter. Zero disables checkpointing: the log grows
 	// without bound, as in the bare protocol.
 	CheckpointInterval uint64
+	// Storage, when non-nil, makes the replica durable (see durable.go):
+	// adopted votes are WAL-appended before their acks leave the process,
+	// decisions before their effects become visible, the stable-checkpoint
+	// snapshot is written at every stabilization (truncating the WAL), and
+	// the replica recovers its pre-crash state from the store at
+	// construction — including the vote state of in-flight slots, so a
+	// recovered replica never equivocates against its own earlier acks.
+	// The replica takes ownership of the store and closes it on Close.
+	// Pair it with CheckpointInterval > 0, or the WAL grows without bound.
+	Storage *storage.Store
 }
 
 // Stats is a point-in-time snapshot of replica counters (see
@@ -129,26 +140,32 @@ type Stats struct {
 type Replica struct {
 	cfg         Config
 	th          quorum.Thresholds
-	interval    uint64      // cfg.CheckpointInterval (0 = disabled)
-	snapshotter Snapshotter // non-nil iff interval > 0
+	interval    uint64         // cfg.CheckpointInterval (0 = disabled)
+	snapshotter Snapshotter    // non-nil iff interval > 0
+	store       *storage.Store // cfg.Storage (nil = in-memory replica)
 
-	mu       sync.Mutex
-	started  bool
-	closed   bool
-	start    time.Time
-	slots    map[uint64]*slot
-	decided  map[uint64]types.Decision
-	sessions map[types.ClientID]*session  // per-client dedup + reply cache
-	replyTo  map[types.ClientID]ReplyFunc // local reply routes (not replicated)
-	pending  *pendingQueue                // commands awaiting slot assignment
-	inflight map[string]uint64            // command bytes -> live slot proposing it
-	next     uint64                       // lowest slot not yet decided locally
-	applyPtr uint64                       // lowest slot not yet applied
-	wg       sync.WaitGroup
+	mu         sync.Mutex
+	started    bool
+	closed     bool
+	recovering bool // inside recoverFromStore: no appends, no sends
+	start      time.Time
+	slots      map[uint64]*slot
+	decided    map[uint64]types.Decision
+	sessions   map[types.ClientID]*session  // per-client dedup + reply cache
+	replyTo    map[types.ClientID]ReplyFunc // local reply routes (not replicated)
+	pending    *pendingQueue                // commands awaiting slot assignment
+	inflight   map[string]uint64            // command bytes -> live slot proposing it
+	next       uint64                       // lowest slot not yet decided locally
+	applyPtr   uint64                       // lowest slot not yet applied
+	wg         sync.WaitGroup
 
-	// Ordered commit delivery (see commitDrainer).
+	// Ordered commit delivery (see commitDrainer). commitDone, set by
+	// Close only after the storage queue has fully drained, is what lets
+	// the drainer exit: exiting on r.closed alone could lose tail events
+	// still flowing out of the store's effect queue during shutdown.
 	commitQ    []commitEvent
 	commitCond *sync.Cond
+	commitDone bool
 
 	// Counters behind Stats().
 	statDecided   uint64
@@ -171,6 +188,14 @@ type Replica struct {
 	fetchCycle int                                   // retries in the current round-robin cycle
 	fetchStart uint64                                // applyPtr when the current cycle began
 	serveTime  map[types.ProcessID]time.Time         // last StateSnapshot served per requester
+
+	// restoredVotes stages the persisted vote state of in-flight slots
+	// recovered from storage, consumed when their instances restart (see
+	// durable.go). Non-empty only on a replica recovering from a crash.
+	restoredVotes map[uint64]*storage.VoteState
+
+	// Chunked snapshot reassembly (see statetransfer.go).
+	chunkAsm *chunkAssembly
 }
 
 type slot struct {
@@ -181,6 +206,11 @@ type slot struct {
 	// slot decides; those the decision does not contain are returned to the
 	// pending queue (see releaseProposedLocked).
 	proposed []Command
+	// ackLog mirrors the slot's adopted-vote WAL records (oldest first), so
+	// WAL truncation can re-encode the votes of still-in-flight slots.
+	// Cleared when the slot decides (the decision record supersedes them).
+	// Nil on replicas without storage.
+	ackLog []*msg.Propose
 }
 
 // commitEvent is one decided slot queued for the ordered OnCommit drainer.
@@ -214,22 +244,29 @@ func NewReplica(cfg Config) (*Replica, error) {
 		}
 	}
 	r := &Replica{
-		cfg:         cfg,
-		th:          quorum.New(cfg.Cluster),
-		interval:    cfg.CheckpointInterval,
-		snapshotter: snapper,
-		slots:       make(map[uint64]*slot),
-		decided:     make(map[uint64]types.Decision),
-		sessions:    make(map[types.ClientID]*session),
-		replyTo:     make(map[types.ClientID]ReplyFunc),
-		pending:     newPendingQueue(),
-		inflight:    make(map[string]uint64),
-		certs:       make(map[uint64]*msg.CommitCert),
-		ckptVotes:   make(map[types.ProcessID][]*msg.Checkpoint),
-		snaps:       make(map[uint64][]byte),
-		serveTime:   make(map[types.ProcessID]time.Time),
+		cfg:           cfg,
+		th:            quorum.New(cfg.Cluster),
+		interval:      cfg.CheckpointInterval,
+		snapshotter:   snapper,
+		store:         cfg.Storage,
+		slots:         make(map[uint64]*slot),
+		decided:       make(map[uint64]types.Decision),
+		sessions:      make(map[types.ClientID]*session),
+		replyTo:       make(map[types.ClientID]ReplyFunc),
+		pending:       newPendingQueue(),
+		inflight:      make(map[string]uint64),
+		certs:         make(map[uint64]*msg.CommitCert),
+		ckptVotes:     make(map[types.ProcessID][]*msg.Checkpoint),
+		snaps:         make(map[uint64][]byte),
+		serveTime:     make(map[types.ProcessID]time.Time),
+		restoredVotes: make(map[uint64]*storage.VoteState),
 	}
 	r.commitCond = sync.NewCond(&r.mu)
+	if r.store != nil {
+		if err := r.recoverFromStore(); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
 }
 
@@ -247,10 +284,18 @@ func (r *Replica) Start() error {
 		go r.commitDrainer()
 	}
 	r.cfg.Transport.SetHandler(r.onPayload)
-	return r.cfg.Transport.Start()
+	if err := r.cfg.Transport.Start(); err != nil {
+		return err
+	}
+	// Re-join the slots the pre-crash incarnation was mid-vote in (no-op
+	// without recovered state).
+	r.resumeRestoredSlotsLocked()
+	return nil
 }
 
-// Close stops the replica and its transport.
+// Close stops the replica, its storage (draining pending durable effects
+// first, so nothing acknowledged is lost in a graceful shutdown), and its
+// transport.
 func (r *Replica) Close() error {
 	r.mu.Lock()
 	if r.closed {
@@ -266,6 +311,16 @@ func (r *Replica) Close() error {
 	if r.fetchTimer != nil {
 		r.fetchTimer.Stop()
 	}
+	r.mu.Unlock()
+	if r.store != nil {
+		// Drain before releasing the commit drainer: queued commit events
+		// and replies still flow out, and their records hit disk.
+		_ = r.store.Close()
+	}
+	r.mu.Lock()
+	// Only now may the drainer exit: every commit-event effect the store
+	// held has been appended to commitQ.
+	r.commitDone = true
 	r.commitCond.Broadcast()
 	r.mu.Unlock()
 	err := r.cfg.Transport.Close()
@@ -456,14 +511,24 @@ func (r *Replica) ensureSlotLocked(s uint64) *slot {
 }
 
 // startSlotLocked creates the instance for slot s, proposing a fresh
-// disjoint chunk of the pending queue (or a no-op when none is queued). The
-// caller holds r.mu, has bounds-checked s against the window, and has
-// compacted the queue.
+// disjoint chunk of the pending queue (or a no-op when none is queued). A
+// slot with recovered vote state instead restarts from that state: its
+// input is the last value it adopted — so a recovered leader re-proposes
+// what it already signed rather than equivocating with a fresh chunk — and
+// the instance refuses to ack conflicting values in views it voted in
+// before the crash. The caller holds r.mu, has bounds-checked s against
+// the window, and has compacted the queue.
 func (r *Replica) startSlotLocked(s uint64) *slot {
-	chunk := r.takeChunkLocked(s)
+	restored := r.restoredVotes[s]
+	var chunk []Command
 	input := types.Value(nil)
-	if len(chunk) > 0 {
-		input = EncodeBatch(chunk)
+	if restored != nil && len(restored.Acks) > 0 {
+		input = restored.Acks[len(restored.Acks)-1].X.Clone()
+	} else {
+		chunk = r.takeChunkLocked(s)
+		if len(chunk) > 0 {
+			input = EncodeBatch(chunk)
+		}
 	}
 	salt := slotSalt(s)
 	proc, err := core.NewProcess(r.cfg.Cluster, r.cfg.Self,
@@ -474,6 +539,9 @@ func (r *Replica) startSlotLocked(s uint64) *slot {
 		return nil // configuration was validated at construction; unreachable
 	}
 	sl := &slot{proc: proc, proposed: chunk}
+	if restored != nil {
+		r.restoreSlotVoteLocked(s, sl, restored)
+	}
 	r.slots[s] = sl
 	r.applyActions(s, sl, proc.Init(r.now()))
 	return sl
@@ -536,6 +604,8 @@ func (r *Replica) onSyncLocked(from types.ProcessID, m msg.Message) {
 		r.onFetchStateLocked(from, t)
 	case *msg.StateSnapshot:
 		r.onStateSnapshotLocked(from, t)
+	case *msg.SnapshotChunk:
+		r.onSnapshotChunkLocked(t)
 	}
 }
 
@@ -552,6 +622,7 @@ func (r *Replica) captureCertLocked(s uint64, sl *slot) {
 	}
 	if cc := sl.proc.Replica().DecisionCert(); cc != nil {
 		r.certs[s] = cc
+		r.persistCertLocked(s, cc)
 	}
 }
 
@@ -570,14 +641,43 @@ func (r *Replica) onTimer(s uint64) {
 	r.captureCertLocked(s, sl)
 }
 
-// applyActions executes instance actions; the caller holds r.mu.
+// applyActions executes instance actions; the caller holds r.mu. With
+// storage, an Ack broadcast first appends the adopted vote behind it to
+// the WAL, and every send is released through the store's effect queue —
+// so no message betraying un-persisted state can reach the network before
+// the state is durable.
 func (r *Replica) applyActions(s uint64, sl *slot, actions []core.Action) {
 	for _, a := range actions {
 		switch act := a.(type) {
 		case core.SendAction:
-			_ = r.cfg.Transport.Send(act.To, envelope(s, act.Msg))
+			switch act.Msg.(type) {
+			case *msg.CertRequest, *msg.CertAck:
+				// Stateless verification traffic (see sendOrderedLocked).
+				r.sendOrderedLocked(act.To, envelope(s, act.Msg))
+			default:
+				// Votes and anything else that exposes replica state wait
+				// for durability.
+				r.sendEnvLocked(act.To, envelope(s, act.Msg))
+			}
 		case core.BroadcastAction:
-			_ = r.cfg.Transport.Broadcast(envelope(s, act.Msg))
+			switch act.Msg.(type) {
+			case *msg.Ack:
+				r.persistVoteLocked(s, sl)
+				r.broadcastEnvLocked(envelope(s, act.Msg))
+			case *msg.Commit:
+				// A commit message commits the replica to nothing a crash
+				// could make it contradict (see sendOrderedLocked): it
+				// keeps its place in the send order but skips the fsync.
+				// (A Propose could in principle do the same — the protocol
+				// tolerates equivocating leaders — but letting the propose
+				// wave outrun the rest of the pipeline measurably widens
+				// the window in which followers speculatively open slots
+				// the leader never proposes, each of which costs a view
+				// change; proposals stay durably gated.)
+				r.broadcastOrderedLocked(envelope(s, act.Msg))
+			default:
+				r.broadcastEnvLocked(envelope(s, act.Msg))
+			}
 		case core.TimerAction:
 			delay := time.Duration(act.Deadline) - time.Since(r.start)
 			if delay < 0 {
@@ -596,7 +696,9 @@ func (r *Replica) applyActions(s uint64, sl *slot, actions []core.Action) {
 	}
 }
 
-// onDecideLocked records a slot decision and advances the log.
+// onDecideLocked records a slot decision and advances the log. The
+// decision record is appended to the WAL before any effect of the decision
+// (apply, replies, commit callbacks, subsequent messages) is scheduled.
 func (r *Replica) onDecideLocked(s uint64, d types.Decision) {
 	if _, dup := r.decided[s]; dup {
 		return
@@ -604,6 +706,11 @@ func (r *Replica) onDecideLocked(s uint64, d types.Decision) {
 	if s < r.applyPtr {
 		return // already applied (and possibly pruned); re-recording would leak
 	}
+	r.persistDecisionLocked(s, d)
+	if sl, ok := r.slots[s]; ok {
+		sl.ackLog = nil // the decision record supersedes the slot's vote records
+	}
+	delete(r.restoredVotes, s)
 	r.decided[s] = d
 	r.statDecided++
 	r.releaseProposedLocked(s, d.Value)
@@ -703,8 +810,7 @@ func (r *Replica) advanceLocked() {
 			}
 		}
 		if r.cfg.OnCommit != nil {
-			r.commitQ = append(r.commitQ, commitEvent{slot: r.applyPtr, d: dd})
-			r.commitCond.Signal()
+			r.queueCommitLocked(commitEvent{slot: r.applyPtr, d: dd})
 		}
 		r.applyPtr++
 		r.maybeCheckpointLocked()
@@ -732,7 +838,7 @@ func (r *Replica) commitDrainer() {
 	defer r.wg.Done()
 	r.mu.Lock()
 	for {
-		for len(r.commitQ) == 0 && !r.closed {
+		for len(r.commitQ) == 0 && !r.commitDone {
 			r.commitCond.Wait()
 		}
 		if len(r.commitQ) == 0 {

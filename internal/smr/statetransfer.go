@@ -32,12 +32,21 @@ import (
 // by entry count and by encoded size, so a response that is sent fits the
 // transport frame limit (transport.MaxFrame, 8 MiB). A requester further
 // behind than one response can cover catches up over multiple fetch
-// rounds. A stable snapshot that alone exceeds the budget cannot be
-// shipped at all — single-frame transfer is a known limitation (see
-// README); chunked snapshots are future work.
+// rounds. A stable snapshot that alone exceeds the single-frame budget is
+// streamed as SnapshotChunk messages instead (up to maxSnapshotBytes),
+// reassembled and digest-verified against the checkpoint certificate by
+// the receiver.
 const (
 	maxTailDecisions = msg.MaxTailDecisions
+	maxSnapshotBytes = 64 << 20
+)
+
+// maxResponseBytes and snapChunkSize are variables only so tests can
+// exercise the chunked path with small states; production values are
+// fixed at init.
+var (
 	maxResponseBytes = 4 << 20
+	snapChunkSize    = 1 << 20
 )
 
 // fetchRetryCooldown is the retry cadence of an unsatisfied state-sync.
@@ -72,7 +81,7 @@ func (r *Replica) sendFetchLocked(to types.ProcessID) {
 	r.fetchAt = r.applyPtr + 1
 	r.fetchTime = time.Now()
 	r.fetchRR = to
-	_ = r.cfg.Transport.Send(to, envelope(syncSlot, &msg.FetchState{From: r.applyPtr}))
+	r.sendOrderedLocked(to, envelope(syncSlot, &msg.FetchState{From: r.applyPtr}))
 	if r.fetchTimer != nil {
 		r.fetchTimer.Stop()
 	}
@@ -134,15 +143,26 @@ func (r *Replica) onFetchStateLocked(from types.ProcessID, m *msg.FetchState) {
 	resp := &msg.StateSnapshot{}
 	tailFrom := m.From
 	budget := maxResponseBytes
-	if r.stable != nil && r.stableSnap != nil && r.stable.CP.Slot >= m.From &&
-		len(r.stableSnap) <= budget {
-		// The response is encoded and framed before this method returns, so
-		// sharing the stored snapshot and certificate (no clones) is safe.
-		resp.HasSnap = true
-		resp.Snapshot = r.stableSnap
-		resp.Cert = *r.stable
-		tailFrom = r.stable.CP.Slot + 1
-		budget -= len(r.stableSnap)
+	if r.stable != nil && r.stableSnap != nil && r.stable.CP.Slot >= m.From {
+		switch {
+		case len(r.stableSnap) <= budget:
+			// Single-frame path. The response is encoded and framed before
+			// this method returns, so sharing the stored snapshot and
+			// certificate (no clones) is safe.
+			resp.HasSnap = true
+			resp.Snapshot = r.stableSnap
+			resp.Cert = *r.stable
+			tailFrom = r.stable.CP.Slot + 1
+			budget -= len(r.stableSnap)
+		case len(r.stableSnap) <= maxSnapshotBytes:
+			// Too large for one frame: stream it in size-bounded chunks
+			// ahead of the tail. Order is preserved per sender, so the
+			// chunks arrive in offset order and the tail after them.
+			r.sendSnapshotChunksLocked(from)
+			tailFrom = r.stable.CP.Slot + 1
+		}
+		// Beyond maxSnapshotBytes the snapshot is not shippable; the tail
+		// below still serves requesters inside the un-pruned range.
 	}
 	for s := tailFrom; s < r.applyPtr && len(resp.Tail) < maxTailDecisions; s++ {
 		cc, ok := r.certs[s]
@@ -157,9 +177,99 @@ func (r *Replica) onFetchStateLocked(from types.ProcessID, m *msg.FetchState) {
 		resp.Tail = append(resp.Tail, msg.TailDecision{Slot: s, CC: *cc})
 	}
 	if !resp.HasSnap && len(resp.Tail) == 0 {
+		return // nothing beyond what the chunks (if any) already carry
+	}
+	r.sendOrderedLocked(from, envelope(syncSlot, resp))
+}
+
+// sendSnapshotChunksLocked streams the stable snapshot to one requester as
+// SnapshotChunk messages. Every chunk carries the checkpoint certificate,
+// so the receiver can validate the association cheaply and the reassembled
+// snapshot verifies against the certified digest exactly like the
+// single-frame path. The caller holds r.mu; each chunk is encoded before
+// the method returns, so sharing the snapshot bytes is safe.
+func (r *Replica) sendSnapshotChunksLocked(to types.ProcessID) {
+	snap := r.stableSnap
+	total := uint64(len(snap))
+	for off := 0; off < len(snap); off += snapChunkSize {
+		end := off + snapChunkSize
+		if end > len(snap) {
+			end = len(snap)
+		}
+		r.sendOrderedLocked(to, envelope(syncSlot, &msg.SnapshotChunk{
+			Cert:   *r.stable,
+			Total:  total,
+			Offset: uint64(off),
+			Data:   snap[off:end],
+		}))
+	}
+}
+
+// chunkAssembly is the in-progress reassembly of one chunked snapshot. At
+// most one exists per replica, bounding the buffered memory; it is
+// replaced only by a verified certificate for a strictly newer checkpoint.
+type chunkAssembly struct {
+	cert  *msg.CheckpointCert
+	total uint64
+	buf   []byte
+}
+
+// onSnapshotChunkLocked feeds one chunk into the reassembly. Chunks are
+// accepted only while a fetch is outstanding, in offset order (per-sender
+// delivery order preserves it; a gap means loss, and the fetch retry
+// simply re-requests). The first chunk must present a valid certificate —
+// the gate that stops an unsolicited sender from making the replica
+// buffer anything — and the completed snapshot is accepted only if its
+// SHA-256 digest matches that certificate. The caller holds r.mu.
+func (r *Replica) onSnapshotChunkLocked(m *msg.SnapshotChunk) {
+	if r.interval == 0 || r.fetchAt == 0 {
 		return
 	}
-	_ = r.cfg.Transport.Send(from, envelope(syncSlot, resp))
+	if m.Cert.CP.Slot < r.applyPtr {
+		return // already past it
+	}
+	if m.Total == 0 || m.Total > maxSnapshotBytes ||
+		uint64(len(m.Data)) > m.Total || m.Offset+uint64(len(m.Data)) > m.Total {
+		return
+	}
+	asm := r.chunkAsm
+	if m.Offset == 0 {
+		if asm != nil && asm.cert.CP.Slot >= m.Cert.CP.Slot {
+			// Keep the assembly already under way unless the newcomer is
+			// strictly newer (a retry restarts via the retry fetch anyway).
+			if asm.cert.CP.Slot > m.Cert.CP.Slot || uint64(len(asm.buf)) > 0 &&
+				!types.Value(asm.cert.CP.StateHash).Equal(types.Value(m.Cert.CP.StateHash)) {
+				return
+			}
+		}
+		if !m.Cert.Verify(r.cfg.Verifier, r.th) {
+			return
+		}
+		asm = &chunkAssembly{
+			cert:  m.Cert.Clone(),
+			total: m.Total,
+			buf:   append([]byte(nil), m.Data...),
+		}
+		r.chunkAsm = asm
+	} else {
+		if asm == nil || asm.cert.CP.Slot != m.Cert.CP.Slot ||
+			!types.Value(asm.cert.CP.StateHash).Equal(types.Value(m.Cert.CP.StateHash)) ||
+			asm.total != m.Total || uint64(len(asm.buf)) != m.Offset {
+			return // out of order or mismatched; the fetch retry recovers
+		}
+		asm.buf = append(asm.buf, m.Data...)
+	}
+	if uint64(len(asm.buf)) < asm.total {
+		return
+	}
+	r.chunkAsm = nil
+	sum := sha256.Sum256(asm.buf)
+	if !types.Value(sum[:]).Equal(types.Value(asm.cert.CP.StateHash)) {
+		return // reassembly does not match the certified digest
+	}
+	if asm.cert.CP.Slot >= r.applyPtr {
+		r.restoreLocked(asm.cert, asm.buf)
+	}
 }
 
 // commitCertSize estimates the encoded size of one tail decision, for the

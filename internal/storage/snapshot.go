@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/msg"
+	"repro/internal/sigcrypto"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Snapshot files hold one stable checkpoint each: the composite SMR
+// snapshot bytes plus the checkpoint certificate that binds their digest,
+// so a recovered replica can both restore the state and go on serving
+// state transfer for it. Files are named snap-<slot>.snap, written to a
+// temporary name, fsync'd, atomically renamed into place, and the
+// directory fsync'd — a crash can lose the newest snapshot, never corrupt
+// an older one.
+//
+// File layout: a 4-byte magic, a 4-byte CRC-32C of the body, and the body
+// (certificate fields followed by the length-prefixed snapshot bytes).
+
+// snapMagic guards against reading an unrelated file as a snapshot.
+var snapMagic = []byte("FBS1")
+
+// snapName returns the file name of the snapshot at slot s.
+func snapName(s uint64) string {
+	return fmt.Sprintf("snap-%016d.snap", s)
+}
+
+// parseSnapName extracts the slot from a snapshot file name.
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	s, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return s, true
+}
+
+// encodeSnapshotFile renders the full snapshot file contents.
+func encodeSnapshotFile(cert *msg.CheckpointCert, snapshot []byte) []byte {
+	w := wire.NewWriter(len(snapshot) + 256)
+	w.Uvarint(cert.CP.Slot)
+	w.BytesField(cert.CP.StateHash)
+	w.Uvarint(uint64(len(cert.Sigs)))
+	for _, sig := range cert.Sigs {
+		w.Int32(int32(sig.Signer))
+		w.BytesField(sig.Bytes)
+	}
+	w.BytesField(snapshot)
+	body := w.Bytes()
+	out := make([]byte, 0, len(body)+8)
+	out = append(out, snapMagic...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, crcTable))
+	return append(out, body...)
+}
+
+// decodeSnapshotFile parses snapshot file contents, verifying magic and CRC.
+func decodeSnapshotFile(buf []byte) (*msg.CheckpointCert, []byte, error) {
+	if len(buf) < 8 || string(buf[:4]) != string(snapMagic) {
+		return nil, nil, fmt.Errorf("storage: not a snapshot file")
+	}
+	body := buf[8:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return nil, nil, fmt.Errorf("storage: snapshot file CRC mismatch")
+	}
+	rd := wire.NewReader(body)
+	cert := &msg.CheckpointCert{}
+	cert.CP.Slot = rd.Uvarint()
+	cert.CP.StateHash = append([]byte(nil), rd.BytesField()...)
+	n := rd.SliceLen()
+	if err := rd.Err(); err != nil {
+		return nil, nil, err
+	}
+	cert.Sigs = make([]sigcrypto.Signature, 0, n)
+	for i := 0; i < n; i++ {
+		var sig sigcrypto.Signature
+		sig.Signer = types.ProcessID(rd.Int32())
+		sig.Bytes = append([]byte(nil), rd.BytesField()...)
+		cert.Sigs = append(cert.Sigs, sig)
+	}
+	snap := append([]byte(nil), rd.BytesField()...)
+	if err := rd.Finish(); err != nil {
+		return nil, nil, err
+	}
+	return cert, snap, nil
+}
+
+// writeSnapshotFile durably installs the snapshot at its final name:
+// temporary file, fsync, rename, directory fsync.
+func writeSnapshotFile(dir string, cert *msg.CheckpointCert, snapshot []byte) error {
+	final := filepath.Join(dir, snapName(cert.CP.Slot))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeSnapshotFile(cert, snapshot)); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// loadNewestSnapshot finds the newest snapshot file that parses and
+// CRC-verifies, removing any leftover temporaries. Corrupt snapshots are
+// skipped (an older intact one still recovers the replica); absence of any
+// snapshot returns (nil, nil, nil).
+func loadNewestSnapshot(dir string) (*msg.CheckpointCert, []byte, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var slots []uint64
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+			continue
+		}
+		if s, ok := parseSnapName(e.Name()); ok {
+			slots = append(slots, s)
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] > slots[j] })
+	for _, s := range slots {
+		buf, err := os.ReadFile(filepath.Join(dir, snapName(s)))
+		if err != nil {
+			continue
+		}
+		cert, snap, err := decodeSnapshotFile(buf)
+		if err != nil || cert.CP.Slot != s {
+			continue
+		}
+		return cert, snap, nil
+	}
+	return nil, nil, nil
+}
+
+// pruneSnapshots removes every snapshot file below the keep slot.
+func pruneSnapshots(dir string, keep uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if s, ok := parseSnapName(e.Name()); ok && s < keep {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// syncDir fsyncs a directory, making renames within it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

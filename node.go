@@ -10,6 +10,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/node"
 	"repro/internal/smr"
+	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -140,6 +141,23 @@ type KVReplicaConfig struct {
 	// checkpoint; a quorum-certified checkpoint prunes the log below it and
 	// serves state transfer to lagging replicas. Zero disables it.
 	CheckpointInterval uint64
+	// DataDir, when non-empty, makes the replica durable: it keeps a
+	// CRC-framed, fsync'd write-ahead log (adopted votes persisted before
+	// acks leave the process, decisions before replies go out) plus
+	// atomically-written snapshot files keyed by stable checkpoint in this
+	// directory, and recovers its pre-crash state from it at construction
+	// — a replica kill -9'd mid-window restarts from its data directory
+	// alone and rejoins consensus without equivocating against its own
+	// earlier votes. One directory belongs to exactly one replica. Pair it
+	// with CheckpointInterval > 0 so the log is truncated at every stable
+	// checkpoint. Empty keeps the replica purely in-memory.
+	DataDir string
+	// SyncMode is the WAL fsync policy when DataDir is set: "group" (the
+	// default — one fsync amortized over every record queued while the
+	// previous fsync was in flight), "always" (fsync per record), or
+	// "none" (OS-buffered writes only: survives a killed process, not a
+	// power failure).
+	SyncMode string
 }
 
 // KVReplica is one member of the replicated key-value store: the SMR layer
@@ -185,6 +203,19 @@ func NewKVReplica(cfg KVReplicaConfig) (*KVReplica, error) {
 			cb(slot, cmd)
 		}
 	}
+	var disk *storage.Store
+	if cfg.DataDir != "" {
+		mode, err := storage.ParseSyncMode(cfg.SyncMode)
+		if err != nil {
+			_ = tr.Close()
+			return nil, err
+		}
+		disk, err = storage.Open(storage.Config{Dir: cfg.DataDir, Mode: mode})
+		if err != nil {
+			_ = tr.Close()
+			return nil, fmt.Errorf("fastbft: opening data dir: %w", err)
+		}
+	}
 	rep, err := smr.NewReplica(smr.Config{
 		Cluster:            cfg.Cluster,
 		Self:               cfg.Self,
@@ -197,8 +228,12 @@ func NewKVReplica(cfg KVReplicaConfig) (*KVReplica, error) {
 		WindowSize:         cfg.WindowSize,
 		MaxBatch:           cfg.MaxBatch,
 		CheckpointInterval: cfg.CheckpointInterval,
+		Storage:            disk, // the replica owns it and closes it
 	})
 	if err != nil {
+		if disk != nil {
+			_ = disk.Close()
+		}
 		_ = tr.Close()
 		return nil, err
 	}

@@ -10,7 +10,7 @@ GO ?= go
 BENCH_JSON ?= BENCH_PR5.json
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-json fuzz smoke fmt fmt-check vet recovery-race clean
+.PHONY: all build test race bench bench-json fuzz smoke fmt fmt-check vet doc-check byz recovery-race clean
 
 all: build test
 
@@ -76,6 +76,20 @@ fmt-check:
 ## vet: run go vet over every package
 vet:
 	$(GO) vet ./...
+
+## doc-check: fail if any package lacks a package doc comment (CI runs this
+## alongside vet; cmd/doccheck is the scanner)
+doc-check:
+	$(GO) run ./cmd/doccheck
+
+## byz: the Byzantine adversary suite under the race detector — the five
+## lockstep SMR attack scenarios of internal/byz, each under both resilience
+## shapes (n=5f−1 fast and n=3f+1 slow), plus the multi-process drill where
+## one replica OS process runs the garbage adversary against a networked
+## client (see docs/THREAT_MODEL.md for the attack taxonomy)
+byz:
+	$(GO) test -race -run 'TestByz' ./internal/byz
+	$(GO) test -race -count=1 -run 'TestRunMultiProcessByzantine' ./cmd/fastbft-cluster
 
 ## recovery-race: the crash-recovery and torn-write suites under the race
 ## detector (CI runs this as its own step; the paths mix goroutines,

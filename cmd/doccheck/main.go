@@ -1,0 +1,87 @@
+// Command doccheck is the documentation lint gate of the CI pipeline: it
+// fails when any package in the module lacks a package doc comment. Godoc
+// renders the package comment as the package's front page, so a missing one
+// means an undocumented subsystem — the kind of rot that creeps in silently
+// as packages are added. The check runs alongside go vet (make doc-check).
+//
+// Usage:
+//
+//	doccheck [-root dir]
+//
+// The tool walks the tree under -root (default "."), skipping hidden
+// directories, testdata, and vendor. For every package it requires a
+// non-empty doc comment on at least one non-test file; _test packages are
+// exempt (their documentation belongs to the package under test).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to scan")
+	flag.Parse()
+	missing, err := scan(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	if len(missing) > 0 {
+		for _, m := range missing {
+			fmt.Println(m)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d package(s) without a package doc comment\n", len(missing))
+		os.Exit(1)
+	}
+}
+
+// scan walks the tree under root and returns one "dir: package name" line
+// per package that has no package doc comment, sorted by path.
+func scan(root string) ([]string, error) {
+	var missing []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if name := d.Name(); path != root &&
+			(strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, path, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for pkgName, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				missing = append(missing, fmt.Sprintf("%s: package %s", path, pkgName))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(missing)
+	return missing, nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanFlagsUndocumentedPackages(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "good", "doc.go"), "// Package good is documented.\npackage good\n")
+	// The package comment may live on any one file of the package.
+	write(t, filepath.Join(root, "good", "extra.go"), "package good\n")
+	write(t, filepath.Join(root, "bad", "bad.go"), "package bad\n")
+	// Test files don't carry the package's documentation: a doc comment
+	// there must not count, and _test packages are never flagged.
+	write(t, filepath.Join(root, "bad", "bad_test.go"), "// Package bad pretends here.\npackage bad\n")
+	write(t, filepath.Join(root, "good", "ext_test.go"), "package good_test\n")
+	// Skipped subtrees.
+	write(t, filepath.Join(root, "testdata", "x.go"), "package x\n")
+	write(t, filepath.Join(root, ".hidden", "y.go"), "package y\n")
+	write(t, filepath.Join(root, "vendor", "z.go"), "package z\n")
+
+	missing, err := scan(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 || !strings.HasSuffix(missing[0], "package bad") {
+		t.Fatalf("scan flagged %v, want exactly the bad package", missing)
+	}
+}
+
+func TestScanRepositoryIsClean(t *testing.T) {
+	missing, err := scan("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("undocumented packages in the repository: %v", missing)
+	}
+}

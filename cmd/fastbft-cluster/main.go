@@ -10,6 +10,9 @@
 //	fastbft-cluster -f 1 -t 1 -procs     # one OS process per replica,
 //	                                     # served to a networked TCP client,
 //	                                     # with a replica crash mid-workload
+//	fastbft-cluster -f 1 -t 1 -procs -byz garbage
+//	                                     # one replica process runs the
+//	                                     # garbage adversary (docs/THREAT_MODEL.md)
 //
 // With -procs, the KV phase spawns one child process per replica (this same
 // binary, re-executed in replica mode). Each child binds a replica-to-replica
@@ -37,6 +40,10 @@ import (
 	"time"
 
 	fastbft "repro"
+	"repro/internal/byz"
+	"repro/internal/msg"
+	"repro/internal/sigcrypto"
+	"repro/internal/transport"
 )
 
 // replicaEnv marks a process as a replica child of a -procs run. It is
@@ -66,11 +73,27 @@ func run(args []string) error {
 	procs := fs.Bool("procs", false, "run the KV phase as one OS process per replica, serving a networked client")
 	timeout := fs.Duration("timeout", 2*time.Minute, "hard deadline for the multi-process phase (-procs)")
 	seed := fs.Int64("seed", 1, "deterministic key seed shared with the replica processes (-procs)")
+	byzName := fs.String("byz", "", "corrupt one replica process with the named adversary (requires -procs); see docs/THREAT_MODEL.md. Known: garbage")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *byzName != "" {
+		if !*procs {
+			return fmt.Errorf("-byz requires -procs (the adversary is its own OS process)")
+		}
+		if *byzName != "garbage" {
+			return fmt.Errorf("unknown adversary %q (known: garbage)", *byzName)
+		}
+	}
 	cfg := fastbft.GeneralizedConfig(*f, *t)
 	fmt.Printf("cluster: %s (paper minimum for f=%d, t=%d)\n", cfg, *f, *t)
+	if *byzName != "" {
+		// With a corrupted replica the single-shot warm-up makes no sense
+		// (its process slot would have to play honest); go straight to the
+		// adversarial multi-process phase.
+		fmt.Printf("byzantine: replica process %d runs the %q adversary\n", byzProcID, *byzName)
+		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, *byzName)
+	}
 
 	// Phase 1: single-shot consensus over TCP.
 	keys, err := fastbft.GenerateKeys(cfg.N)
@@ -125,7 +148,7 @@ func run(args []string) error {
 	}
 
 	if *procs {
-		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout)
+		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, "")
 	}
 	return runSingleProcess(cfg, *ops)
 }
@@ -210,6 +233,17 @@ type child struct {
 // directories.
 const drillCkptInterval = 8
 
+// byzProcID is the process the -byz adversary corrupts: the leader of view 1
+// of every log slot, so its attacks land on the fast path rather than on
+// slots it could never propose in.
+const byzProcID = 1
+
+// byzGarbageSlots is how many log slots the "garbage" adversary drives to a
+// malformed decision. The correct replica processes report their
+// MalformedBatches counter on shutdown and the parent requires exactly this
+// many on every one of them.
+const byzGarbageSlots = 2
+
 // runMultiProcess is the networked KV phase: one OS process per replica
 // (each durable, with its own data directory), the parent process acting
 // as a real external client over TCP. The crash drill: a third of the way
@@ -219,7 +253,15 @@ const drillCkptInterval = 8
 // n−f replicas are alive, so every further confirmed write proves the
 // recovered replica rejoined consensus for real — progress is impossible
 // without it.
-func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time.Duration) error {
+// With byzName non-empty there is no crash drill — the fault budget is spent
+// on replica byzProcID, which runs the named adversary instead of an honest
+// replica. The workload then proves liveness under active Byzantine behavior
+// (every write still confirmed by f+1 correct replicas), and on shutdown the
+// parent collects each correct replica's STATS line and requires the
+// adversary's footprint (the MalformedBatches counter) to be exactly what the
+// attack dictates — evidence the malformed decisions were counted, logged,
+// and skipped rather than silently lost.
+func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time.Duration, byzName string) error {
 	exe, err := os.Executable()
 	if err != nil {
 		return err
@@ -253,7 +295,7 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 		if addr == "" {
 			addr, clientAddr = "127.0.0.1:0", "127.0.0.1:0"
 		}
-		cmd := exec.Command(exe,
+		cargs := []string{
 			"-self", strconv.Itoa(i),
 			"-f", strconv.Itoa(f),
 			"-t", strconv.Itoa(t),
@@ -262,7 +304,21 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 			"-addr", addr,
 			"-clientaddr", clientAddr,
 			"-datadir", filepath.Join(dataRoot, fmt.Sprintf("replica-%d", i)),
-		)
+		}
+		if byzName != "" {
+			if i == byzProcID {
+				cargs = append(cargs, "-byz", byzName)
+			} else {
+				// Correct replicas report the adversary's footprint on
+				// shutdown; the flag carries the expected malformed count so
+				// the child knows when its counter is final. The corrupted
+				// view-1 leader never proposes honestly, so every slot pays
+				// one view change — a short timer keeps the drill brisk.
+				cargs = append(cargs, "-byzslots", strconv.Itoa(byzGarbageSlots),
+					"-basetimeout", "150ms")
+			}
+		}
+		cmd := exec.Command(exe, cargs...)
 		cmd.Env = append(os.Environ(), replicaEnv+"=1")
 		cmd.Stderr = os.Stderr
 		stdin, err := cmd.StdinPipe()
@@ -336,6 +392,10 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 	crash2 := cfg.N - 2
 	killAt := ops / 3
 	restartAt := 2 * ops / 3
+	if byzName != "" {
+		// No crash drill: the fault budget is spent on the adversary.
+		killAt, restartAt = -1, -1
+	}
 	start := time.Now()
 	for i := 0; i < ops; i++ {
 		switch i {
@@ -385,6 +445,39 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 		}
 	}
 	elapsed := time.Since(start)
+	if byzName != "" {
+		fmt.Printf("networked kv: %d writes from an external client process, each confirmed by f+1 correct replicas over TCP, with replica process %d running the %q adversary throughout (%.2fs, %.0f ops/s)\n",
+			ops, byzProcID, byzName, elapsed.Seconds(), float64(ops)/elapsed.Seconds())
+		// Shut the correct replicas down one by one and collect their STATS
+		// line: every one of them must have decided, counted, and skipped
+		// exactly the malformed slots the adversary drove.
+		for i, c := range children {
+			if i == byzProcID {
+				continue
+			}
+			_ = c.stdin.Close()
+			fields, err := c.expect("STATS", 1)
+			if err != nil {
+				return fmt.Errorf("replica process %d stats: %w", i, err)
+			}
+			stats := make(map[string]string, len(fields))
+			for _, kv := range fields {
+				if k, v, ok := strings.Cut(kv, "="); ok {
+					stats[k] = v
+				}
+			}
+			malformed, err := strconv.Atoi(stats["malformed"])
+			if err != nil {
+				return fmt.Errorf("replica process %d: bad STATS line %v", i, fields)
+			}
+			if malformed != byzGarbageSlots {
+				return fmt.Errorf("replica process %d counted %d malformed batches, want %d", i, malformed, byzGarbageSlots)
+			}
+			fmt.Printf("replica process %d: malformed=%d applied=%s — the garbage decisions were counted and skipped\n", i, malformed, stats["applied"])
+		}
+		_ = children[byzProcID].stdin.Close()
+		return nil
+	}
 	fmt.Printf("networked kv: %d writes from an external client process, each confirmed by f+1 replicas over TCP, with replica %d kill -9'd and restarted from its data dir and replica %d crashed after it (%.2fs, %.0f ops/s)\n",
 		ops, crash1, crash2, elapsed.Seconds(), float64(ops)/elapsed.Seconds())
 
@@ -429,10 +522,16 @@ func replicaMain(args []string) error {
 	clientAddr := fs.String("clientaddr", "127.0.0.1:0", "client-facing listen address (pinned on restart)")
 	dataDir := fs.String("datadir", "", "data directory for the write-ahead log and snapshots (empty = in-memory)")
 	syncMode := fs.String("sync", "group", "WAL fsync policy: none, group, or always")
+	baseTimeout := fs.Duration("basetimeout", 0, "per-slot view-1 timer (0 = the replica default)")
+	byzName := fs.String("byz", "", "run the named adversary instead of an honest replica")
+	byzSlots := fs.Int("byzslots", 0, "expected malformed-batch count; >0 makes the replica report STATS on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := fastbft.GeneralizedConfig(*f, *t)
+	if *byzName != "" {
+		return byzReplicaMain(cfg, fastbft.ProcessID(*self), *seed, *addr, *clientAddr, *byzName)
+	}
 	keys := fastbft.GenerateTestKeys(cfg.N, *seed)
 	r, err := fastbft.NewKVReplica(fastbft.KVReplicaConfig{
 		Cluster:            cfg,
@@ -443,6 +542,7 @@ func replicaMain(args []string) error {
 		CheckpointInterval: *ckpt,
 		DataDir:            *dataDir,
 		SyncMode:           *syncMode,
+		BaseTimeout:        *baseTimeout,
 	})
 	if err != nil {
 		return err
@@ -469,6 +569,100 @@ func replicaMain(args []string) error {
 		break
 	}
 	// Serve until the parent closes our stdin (or kills us).
+	for in.Scan() {
+	}
+	if *byzSlots > 0 {
+		// The parent reads a STATS line before this process exits. The
+		// malformed counter is final once the apply frontier passed the
+		// attacked prefix; commands keep applying for a moment after the
+		// client's last confirmation, so poll briefly instead of sampling.
+		deadline := time.Now().Add(15 * time.Second)
+		for r.Stats().MalformedBatches < uint64(*byzSlots) && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		st := r.Stats()
+		fmt.Printf("STATS malformed=%d applied=%d reproposed=%d\n",
+			st.MalformedBatches, st.AppliedCommands, st.Reproposed)
+	}
+	return in.Err()
+}
+
+// byzReplicaMain is the corrupted-replica role of a -procs -byz run: the
+// same stdio coordination protocol as an honest child (ADDRS out, PEERS in,
+// READY out, EOF to stop), but the process slot is driven by a byz.Driver
+// running the named adversarial behavior over a real authenticated TCP
+// endpoint, with the process's real cluster key. The client-facing address
+// is served by a real authenticated listener whose handler discards every
+// request unanswered — the corrupted replica proves its identity to clients
+// and then stonewalls them, so the f+1 matching-reply rule must be met by
+// correct replicas alone.
+func byzReplicaMain(cfg fastbft.Config, self fastbft.ProcessID, seed int64, addr, clientAddr, name string) error {
+	var behavior byz.Behavior
+	switch name {
+	case "garbage":
+		behavior = &byz.GarbageProposer{Slots: byzGarbageSlots}
+	default:
+		return fmt.Errorf("unknown adversary %q", name)
+	}
+	scheme := sigcrypto.NewEd25519Deterministic(cfg.N, seed)
+	tr, err := transport.NewTCP(transport.TCPConfig{
+		Self:       self,
+		N:          cfg.N,
+		ListenAddr: addr,
+		Signer:     scheme.Signer(self),
+		Verifier:   scheme.Verifier(),
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := transport.NewClientListener(transport.ClientListenerConfig{
+		Self:       self,
+		ListenAddr: clientAddr,
+		Signer:     scheme.Signer(self),
+		Handler:    func(*msg.Request, func(*msg.Reply)) error { return nil },
+	})
+	if err != nil {
+		_ = tr.Close()
+		return err
+	}
+	defer func() { _ = ln.Close() }()
+	if err := ln.Start(); err != nil {
+		_ = tr.Close()
+		return err
+	}
+	drv, err := byz.NewDriver(byz.DriverConfig{
+		Cluster:   cfg,
+		Self:      self,
+		Signer:    scheme.Signer(self),
+		Verifier:  scheme.Verifier(),
+		Transport: tr,
+		Behavior:  behavior,
+	})
+	if err != nil {
+		_ = tr.Close()
+		return err
+	}
+	defer func() { _ = drv.Close() }()
+	fmt.Printf("ADDRS %s %s\n", tr.Addr(), ln.Addr())
+
+	in := bufio.NewScanner(os.Stdin)
+	for in.Scan() {
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 || fields[0] != "PEERS" {
+			continue
+		}
+		if len(fields)-1 != cfg.N {
+			return fmt.Errorf("PEERS line carries %d addresses, want %d", len(fields)-1, cfg.N)
+		}
+		if err := tr.SetPeers(fields[1:]); err != nil {
+			return err
+		}
+		if err := drv.Start(); err != nil {
+			return err
+		}
+		fmt.Println("READY")
+		break
+	}
 	for in.Scan() {
 	}
 	return in.Err()

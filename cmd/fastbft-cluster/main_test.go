@@ -47,6 +47,24 @@ func TestRunMultiProcessCluster(t *testing.T) {
 	}
 }
 
+// TestRunMultiProcessByzantine runs the multi-process cluster with replica
+// process 1 — the leader of view 1 of every slot — replaced by the garbage
+// adversary from internal/byz (see docs/THREAT_MODEL.md): it drives the
+// first log slots to decide a non-batch value, over real authenticated TCP,
+// in its own OS process. The run passes only if every networked client write
+// is still confirmed by f+1 correct replicas (liveness under an active
+// Byzantine leader) and every correct replica process reports exactly the
+// attacked number of malformed batches on shutdown (the decisions were
+// counted, logged, and skipped — not silently lost, not applied).
+func TestRunMultiProcessByzantine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns one OS process per replica")
+	}
+	if err := run([]string{"-f", "1", "-t", "1", "-procs", "-byz", "garbage", "-ops", "12", "-timeout", "90s"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRejectsBadParameters(t *testing.T) {
 	if err := run([]string{"-f", "0"}); err == nil {
 		t.Fatal("expected error for f=0")

@@ -1,0 +1,317 @@
+package byz
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"repro/internal/msg"
+	"repro/internal/sigcrypto"
+	"repro/internal/smr"
+	"repro/internal/types"
+)
+
+// The behaviors below are the adversarial replica strategies the Byzantine
+// harness runs against the full SMR stack (see docs/THREAT_MODEL.md for the
+// attack taxonomy and the safety/liveness claim each one probes). The
+// workload-triggered ones arm on the first forwarded client request — the
+// natural "cluster is live" signal an adversary can observe — so they work
+// unmodified in lockstep simulations and in multi-process clusters.
+
+// SlotEquivocator is a corrupted process that, as leader of view 1 of one
+// log slot, proposes ValueA to the processes in GroupA and ValueB to
+// everyone else, then goes silent — it never acks either value, so with
+// the split below the commit quorum neither branch can decide in view 1
+// and the slot must recover through a view change. The view change's vote
+// selection then has to pick one branch; safety holds iff every correct
+// replica converges on the same one.
+type SlotEquivocator struct {
+	// Slot is the log slot to attack.
+	Slot uint64
+	// ValueA goes to GroupA, ValueB to the remaining processes.
+	ValueA, ValueB types.Value
+	GroupA         map[types.ProcessID]bool
+
+	fired bool
+}
+
+// Start implements Behavior.
+func (e *SlotEquivocator) Start(*Driver) {}
+
+// Deliver implements Behavior: the first forwarded client request triggers
+// the equivocating proposals.
+func (e *SlotEquivocator) Deliver(d *Driver, _ types.ProcessID, slot uint64, _ msg.Message) {
+	if e.fired || slot != smr.CtrlSlotID {
+		return
+	}
+	e.fired = true
+	f := d.Forger(e.Slot)
+	pa := f.Propose(e.ValueA, 1, nil)
+	pb := f.Propose(e.ValueB, 1, nil)
+	d.EachPeer(func(p types.ProcessID) {
+		if e.GroupA[p] {
+			d.Send(p, e.Slot, pa)
+		} else {
+			d.Send(p, e.Slot, pb)
+		}
+	})
+}
+
+// GarbageBatch is a non-empty value that is not a valid batch encoding:
+// correct replicas decide it (consensus never interprets values) and the
+// apply loop must count, log, and skip it.
+var GarbageBatch = types.Value("\xffgarbage-not-a-batch")
+
+// GarbageProposer is a corrupted process that, as leader of view 1, drives
+// the first Slots log slots to decide a non-batch value, then goes silent.
+// The malformed decisions must be counted (Stats.MalformedBatches), logged,
+// and skipped without stalling the in-order apply loop; client commands the
+// garbage displaced must be re-proposed in later slots.
+type GarbageProposer struct {
+	// Slots is how many log slots (from 0) receive a garbage proposal.
+	Slots uint64
+	// Payload overrides GarbageBatch when non-nil.
+	Payload types.Value
+
+	fired bool
+}
+
+// Start implements Behavior.
+func (g *GarbageProposer) Start(*Driver) {}
+
+// Deliver implements Behavior: the first forwarded client request triggers
+// the garbage proposals.
+func (g *GarbageProposer) Deliver(d *Driver, _ types.ProcessID, slot uint64, _ msg.Message) {
+	if g.fired || slot != smr.CtrlSlotID {
+		return
+	}
+	g.fired = true
+	payload := g.Payload
+	if payload == nil {
+		payload = GarbageBatch
+	}
+	for s := uint64(0); s < g.Slots; s++ {
+		d.Broadcast(s, d.Forger(s).Propose(payload, 1, nil))
+	}
+}
+
+// StaleSnapshotServer attacks state transfer. It lures a recovering victim
+// into fetching from the corrupted process (a signed far-future checkpoint
+// is lag evidence, and the fetch goes to the evidence's sender), then
+// serves every poisoned response shape the receiver must reject:
+//
+//   - a snapshot under a forged certificate (below the signature quorum),
+//   - a snapshot whose bytes do not hash to a genuine certificate's digest,
+//   - snapshot chunks reassembling to bytes that fail the certified digest,
+//   - a tail decision whose commit certificate was harvested from a
+//     different slot (the slot-salt replay),
+//   - and finally a genuine but stale response, recorded earlier from a
+//     correct peer — verifiable progress, but short of the frontier.
+//
+// The stale response is the liveness half of the attack: the victim
+// accepts it (it is real), stays behind the cluster, and must escape via
+// the round-robin fetch retry rather than park on the corrupted server.
+type StaleSnapshotServer struct {
+	// Victim is the recovering process to poison.
+	Victim types.ProcessID
+
+	mu           sync.Mutex
+	stale        *msg.StateSnapshot
+	poisonServed int
+}
+
+// Start implements Behavior.
+func (s *StaleSnapshotServer) Start(*Driver) {}
+
+// Harvest asks a correct peer for a genuine StateSnapshot; the recorded
+// response is later replayed, stale, to the victim.
+func (s *StaleSnapshotServer) Harvest(d *Driver, peer types.ProcessID) {
+	d.Send(peer, smr.SyncSlotID, &msg.FetchState{From: 0})
+}
+
+// Lure sends the victim a signed checkpoint claiming the corrupted process
+// has applied through evidence — unverifiable lag evidence that attracts
+// the victim's next FetchState.
+func (s *StaleSnapshotServer) Lure(d *Driver, evidence uint64) {
+	sum := sha256.Sum256([]byte("no-such-state"))
+	cp := types.Checkpoint{Slot: evidence, StateHash: sum[:]}
+	d.Send(s.Victim, smr.SyncSlotID, &msg.Checkpoint{
+		CP:  cp,
+		Phi: d.Signer().Sign(msg.CheckpointDigest(cp)),
+	})
+}
+
+// Stale reports whether a genuine response has been harvested.
+func (s *StaleSnapshotServer) Stale() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stale != nil
+}
+
+// StaleTailLen returns how many tail decisions the harvested response
+// carries (the slot-salt replay vector needs at least one).
+func (s *StaleSnapshotServer) StaleTailLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stale == nil {
+		return 0
+	}
+	return len(s.stale.Tail)
+}
+
+// PoisonServed returns how many poisoned fetch rounds were served to the
+// victim.
+func (s *StaleSnapshotServer) PoisonServed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.poisonServed
+}
+
+// Deliver implements Behavior: genuine responses are recorded for stale
+// replay, and the victim's fetches are served poison.
+func (s *StaleSnapshotServer) Deliver(d *Driver, from types.ProcessID, slot uint64, m msg.Message) {
+	if slot != smr.SyncSlotID {
+		return
+	}
+	switch t := m.(type) {
+	case *msg.StateSnapshot:
+		if from != s.Victim {
+			s.mu.Lock()
+			s.stale = t
+			s.mu.Unlock()
+		}
+	case *msg.FetchState:
+		if from != s.Victim {
+			return
+		}
+		s.mu.Lock()
+		stale := s.stale
+		s.poisonServed++
+		s.mu.Unlock()
+
+		// Forged certificate: the digest matches the bytes, but the only
+		// signature is the adversary's own — below CertQuorum.
+		poison := []byte("poisoned-snapshot-bytes")
+		sum := sha256.Sum256(poison)
+		cp := types.Checkpoint{Slot: t.From + 1000, StateHash: sum[:]}
+		forged := msg.CheckpointCert{CP: cp, Sigs: []sigcrypto.Signature{
+			d.Signer().Sign(msg.CheckpointDigest(cp)),
+		}}
+		d.Send(s.Victim, smr.SyncSlotID, &msg.StateSnapshot{
+			HasSnap: true, Snapshot: poison, Cert: forged,
+		})
+
+		if stale != nil && stale.HasSnap {
+			// Genuine certificate, wrong bytes: fails the digest check.
+			d.Send(s.Victim, smr.SyncSlotID, &msg.StateSnapshot{
+				HasSnap: true, Snapshot: poison, Cert: stale.Cert,
+			})
+			// Chunked variant: a valid certificate opens the reassembly,
+			// the completed buffer fails the certified digest.
+			d.Send(s.Victim, smr.SyncSlotID, &msg.SnapshotChunk{
+				Cert: stale.Cert, Total: uint64(len(poison)), Offset: 0, Data: poison,
+			})
+		}
+		if stale != nil && len(stale.Tail) > 0 {
+			// Slot-salt replay: a commit certificate harvested from slot j
+			// presented as the decision of slot j+1.
+			td := stale.Tail[0]
+			d.Send(s.Victim, smr.SyncSlotID, &msg.StateSnapshot{
+				Tail: []msg.TailDecision{{Slot: td.Slot + 1, CC: td.CC}},
+			})
+		}
+		if stale != nil {
+			// The stale-but-genuine response, last: the victim accepts it
+			// and lands behind the frontier.
+			d.Send(s.Victim, smr.SyncSlotID, stale)
+		}
+	}
+}
+
+// CertReplayer is a corrupted process that records the commit certificates
+// the cluster broadcasts (any process receives Commit messages — no
+// protocol deviation needed to harvest them) and replays a certificate
+// decided in one log slot into other slots' envelopes. Slot-salted
+// signatures are the mechanism under test: a certificate from slot j must
+// verify in no other slot, so the replay must change no replica's decision
+// for the target slot.
+type CertReplayer struct {
+	mu    sync.Mutex
+	seen  map[uint64]*msg.Commit
+	order []uint64
+}
+
+// Start implements Behavior.
+func (c *CertReplayer) Start(*Driver) {}
+
+// Deliver implements Behavior: Commit messages are recorded per slot.
+func (c *CertReplayer) Deliver(_ *Driver, _ types.ProcessID, slot uint64, m msg.Message) {
+	cm, ok := m.(*msg.Commit)
+	if !ok || slot == smr.CtrlSlotID || slot == smr.SyncSlotID {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.seen == nil {
+		c.seen = make(map[uint64]*msg.Commit)
+	}
+	if _, dup := c.seen[slot]; !dup {
+		c.seen[slot] = cm
+		c.order = append(c.order, slot)
+	}
+}
+
+// Harvested returns the first slot a commit certificate was recorded for.
+func (c *CertReplayer) Harvested() (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.order) == 0 {
+		return 0, false
+	}
+	return c.order[0], true
+}
+
+// Replay broadcasts the commit certificate recorded for slot from inside
+// slot to's envelope. It reports whether a certificate was available.
+func (c *CertReplayer) Replay(d *Driver, from, to uint64) bool {
+	c.mu.Lock()
+	cm := c.seen[from]
+	c.mu.Unlock()
+	if cm == nil {
+		return false
+	}
+	d.Broadcast(to, cm)
+	return true
+}
+
+// AckEquivocator probes the recovery re-ack guard: as leader of view 1 of
+// one slot it proposes ValueA to a single durable victim (who acks and
+// persists the vote), waits for the test to crash and recover the victim,
+// and then proposes ValueB for the same slot and view. A correct recovery
+// must hold the victim to its persisted ack — it stays silent on the
+// conflicting proposal — or the adversary has turned a crash into an
+// equivocation by a correct process.
+type AckEquivocator struct {
+	// Slot is the log slot to attack; Victim the durable process.
+	Slot   uint64
+	Victim types.ProcessID
+	// ValueA is proposed before the crash, ValueB after recovery.
+	ValueA, ValueB types.Value
+}
+
+// Start implements Behavior.
+func (a *AckEquivocator) Start(*Driver) {}
+
+// Deliver implements Behavior (the attack is test-scripted; deliveries are
+// ignored).
+func (a *AckEquivocator) Deliver(*Driver, types.ProcessID, uint64, msg.Message) {}
+
+// ProposeFirst sends the victim the pre-crash proposal for ValueA.
+func (a *AckEquivocator) ProposeFirst(d *Driver) {
+	d.Send(a.Victim, a.Slot, d.Forger(a.Slot).Propose(a.ValueA, 1, nil))
+}
+
+// ProposeConflict sends the recovered victim the conflicting proposal for
+// ValueB, same slot and view.
+func (a *AckEquivocator) ProposeConflict(d *Driver) {
+	d.Send(a.Victim, a.Slot, d.Forger(a.Slot).Propose(a.ValueB, 1, nil))
+}

@@ -1,8 +1,16 @@
-// Package byz implements Byzantine behaviours for the simulator: message
-// forging on behalf of corrupted processes, equivocating leaders, selective
-// ack-senders, and vote withholders. The adversary model matches Section
-// 2.1: it controls up to f processes (and owns their signing keys) but can
-// neither forge signatures of correct processes nor tamper with channels.
+// Package byz is the Byzantine adversary harness. It operates at two
+// levels. The message level — a Forger plus attack nodes (equivocating
+// leaders, selective ack-senders, vote withholders, certificate forgers,
+// flooders) for the discrete-event simulator's single consensus instances.
+// And the replica level — a Driver running an adversarial Behavior over a
+// real transport endpoint, attacking the full SMR stack (slot-salted
+// signatures, pipelined windows, checkpoints, state transfer, recovery) in
+// lockstep sim clusters and multi-process TCP clusters alike.
+//
+// The adversary model matches Section 2.1 of the paper, written out in
+// docs/THREAT_MODEL.md: the adversary controls up to f processes (and owns
+// their signing keys) but can neither forge signatures of correct
+// processes nor tamper with channels between them.
 package byz
 
 import (

@@ -1,0 +1,315 @@
+package byz
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/quorum"
+	"repro/internal/sigcrypto"
+	"repro/internal/sim"
+	"repro/internal/smr"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// The adversary scenarios run under both resilience shapes of
+// BenchmarkTableResilience with f=2 (at f=1 the two shapes coincide):
+// the paper's fast configuration n=5f−1, and the generalized n=3f+2t−1
+// with t=1, which is the classic n=3f+1 where decisions ride the slow
+// path whenever t faults and the adversary overlap.
+var byzConfigs = []struct {
+	name string
+	cfg  types.Config
+}{
+	{"fast-n9f2t2", types.Vanilla(2)},
+	{"slow-n7f2t1", types.Generalized(2, 1)},
+}
+
+// byzCluster is a lockstep SMR cluster with one process slot occupied by an
+// adversarial Driver instead of an honest replica. Replies from every
+// correct replica are recorded per (client, seq) so tests can assert the
+// client-visible safety property: no two correct replicas ever confirm the
+// same request with different results.
+type byzCluster struct {
+	t      *testing.T
+	cfg    types.Config
+	th     quorum.Thresholds
+	byzID  types.ProcessID
+	scheme sigcrypto.Scheme
+	net    *sim.ReplicaNet
+	opts   clusterOpts
+
+	reps   []*smr.Replica
+	stores []*smr.KVStore
+	drv    *Driver
+
+	mu      sync.Mutex
+	replies map[string][]*msg.Reply
+}
+
+type clusterOpts struct {
+	behavior Behavior
+	interval uint64 // checkpoint interval (0 disables)
+	timeout  time.Duration
+	// dirs maps durable replicas to their data directories.
+	dirs map[types.ProcessID]string
+}
+
+func newByzCluster(t *testing.T, cfg types.Config, byzID types.ProcessID, seed int64, opts clusterOpts) *byzCluster {
+	t.Helper()
+	if opts.timeout == 0 {
+		opts.timeout = 100 * time.Millisecond
+	}
+	c := &byzCluster{
+		t:       t,
+		cfg:     cfg,
+		th:      quorum.New(cfg),
+		byzID:   byzID,
+		scheme:  sigcrypto.NewHMAC(cfg.N, seed),
+		net:     sim.NewReplicaNet(cfg.N),
+		opts:    opts,
+		reps:    make([]*smr.Replica, cfg.N),
+		stores:  make([]*smr.KVStore, cfg.N),
+		replies: make(map[string][]*msg.Reply),
+	}
+	for i := 0; i < cfg.N; i++ {
+		p := types.ProcessID(i)
+		if p == byzID {
+			continue
+		}
+		c.bootReplica(p, c.net.Transport(p))
+		if err := c.reps[p].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drv, err := NewDriver(DriverConfig{
+		Cluster:   cfg,
+		Self:      byzID,
+		Signer:    c.scheme.Signer(byzID),
+		Verifier:  c.scheme.Verifier(),
+		Transport: c.net.Transport(byzID),
+		Behavior:  opts.behavior,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.drv = drv
+	if err := drv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.close)
+	return c
+}
+
+// bootReplica (re)builds correct replica p on transport tr; the caller
+// starts it. Replicas listed in opts.dirs open their storage directory, so
+// a reboot recovers the pre-crash durable state.
+func (c *byzCluster) bootReplica(p types.ProcessID, tr transport.Transport) {
+	c.t.Helper()
+	cfg := smr.Config{
+		Cluster:            c.cfg,
+		Self:               p,
+		Signer:             c.scheme.Signer(p),
+		Verifier:           c.scheme.Verifier(),
+		Transport:          tr,
+		BaseTimeout:        c.opts.timeout,
+		CheckpointInterval: c.opts.interval,
+	}
+	if dir, ok := c.opts.dirs[p]; ok {
+		disk, err := storage.Open(storage.Config{Dir: dir, Mode: storage.SyncAlways})
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		cfg.Storage = disk
+	}
+	c.stores[p] = smr.NewKVStore()
+	cfg.App = c.stores[p]
+	rep, err := smr.NewReplica(cfg)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.reps[p] = rep
+}
+
+func (c *byzCluster) close() {
+	for _, r := range c.reps {
+		if r != nil {
+			_ = r.Close()
+		}
+	}
+	if c.drv != nil {
+		_ = c.drv.Close()
+	}
+}
+
+// submit hands the request to every live correct replica (clients talk to
+// all replicas; the adversary's slot gets the forwarded copy like any
+// leader would) and registers a per-replica reply recorder.
+func (c *byzCluster) submit(client string, seq uint64) string {
+	c.t.Helper()
+	key := fmt.Sprintf("%s-k%d", client, seq)
+	op := smr.EncodeKV(smr.KVCommand{
+		Op: smr.OpSet, Client: client, Seq: seq,
+		Key: key, Value: fmt.Sprintf("%s-v%d", client, seq),
+	})
+	req := &msg.Request{Client: types.ClientID(client), Seq: seq, Op: op}
+	for _, rep := range c.reps {
+		if rep == nil {
+			continue
+		}
+		if err := rep.HandleRequest(req, c.recorder()); err != nil {
+			c.t.Fatal(err)
+		}
+	}
+	return key
+}
+
+func (c *byzCluster) recorder() smr.ReplyFunc {
+	return func(rp *msg.Reply) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		k := fmt.Sprintf("%s/%d", rp.Client, rp.Seq)
+		c.replies[k] = append(c.replies[k], rp)
+	}
+}
+
+// pump drains the network and polls cond until it holds, failing the test
+// at the deadline. The sleep lets real timers (view changes, fetch
+// retries) fire between drains.
+func (c *byzCluster) pump(timeout time.Duration, cond func() bool, what string) {
+	c.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		c.net.Drain(0)
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			c.t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// eachCorrect calls fn for every live correct replica.
+func (c *byzCluster) eachCorrect(fn func(p types.ProcessID, r *smr.Replica)) {
+	for i, r := range c.reps {
+		if r != nil {
+			fn(types.ProcessID(i), r)
+		}
+	}
+}
+
+// allCorrect reports whether pred holds on every live correct replica.
+func (c *byzCluster) allCorrect(pred func(p types.ProcessID, r *smr.Replica) bool) bool {
+	ok := true
+	c.eachCorrect(func(p types.ProcessID, r *smr.Replica) {
+		if !pred(p, r) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// confirmedBy returns how many distinct correct replicas replied to key.
+func (c *byzCluster) confirmedBy(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	distinct := make(map[types.ProcessID]bool)
+	for _, rp := range c.replies[key] {
+		distinct[rp.Replica] = true
+	}
+	return len(distinct)
+}
+
+// waitConfirmed pumps until every key gathered at least f+1 distinct
+// replica replies. Replies are dispatched on their own goroutines after the
+// command applies, so tests must wait for their arrival separately from the
+// application-state conditions.
+func (c *byzCluster) waitConfirmed(keys ...string) {
+	c.t.Helper()
+	c.pump(30*time.Second, func() bool {
+		for _, k := range keys {
+			if c.confirmedBy(k) < c.th.CertQuorum() {
+				return false
+			}
+		}
+		return true
+	}, "client replies to gather a confirmation quorum")
+}
+
+// assertReplySafety is the client-visible safety check: for every request,
+// all recorded replies (one per correct replica) agree on result and slot,
+// and every key in confirmed gathered at least f+1 of them — the quorum a
+// client requires before treating a reply as final.
+func (c *byzCluster) assertReplySafety(confirmed ...string) {
+	c.t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, list := range c.replies {
+		base := list[0]
+		for _, rp := range list[1:] {
+			if !bytes.Equal(rp.Result, base.Result) || rp.Slot != base.Slot {
+				c.t.Fatalf("divergent confirmed replies for %s: replica %s got (slot %d, %q), replica %s got (slot %d, %q)",
+					k, base.Replica, base.Slot, base.Result, rp.Replica, rp.Slot, rp.Result)
+			}
+		}
+	}
+	for _, k := range confirmed {
+		distinct := make(map[types.ProcessID]bool)
+		for _, rp := range c.replies[k] {
+			distinct[rp.Replica] = true
+		}
+		if len(distinct) < c.th.CertQuorum() {
+			c.t.Fatalf("request %s confirmed by %d replicas, want at least f+1=%d",
+				k, len(distinct), c.th.CertQuorum())
+		}
+	}
+}
+
+// assertStoresEqual compares the full application state of every live
+// correct replica byte for byte (KVStore snapshots are canonical).
+func (c *byzCluster) assertStoresEqual() {
+	c.t.Helper()
+	var ref []byte
+	var refID types.ProcessID
+	c.eachCorrect(func(p types.ProcessID, _ *smr.Replica) {
+		snap := c.stores[p].Snapshot()
+		if ref == nil {
+			ref, refID = snap, p
+			return
+		}
+		if !bytes.Equal(ref, snap) {
+			c.t.Fatalf("replica %s and %s diverged: %d vs %d snapshot bytes (applied %d vs %d)",
+				refID, p, len(ref), len(snap), c.stores[refID].AppliedOps(), c.stores[p].AppliedOps())
+		}
+	})
+}
+
+// correctPeers returns the correct process IDs in ascending order.
+func correctPeers(cfg types.Config, byzID types.ProcessID) []types.ProcessID {
+	out := make([]types.ProcessID, 0, cfg.N-1)
+	for i := 0; i < cfg.N; i++ {
+		if p := types.ProcessID(i); p != byzID {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// kvBatch builds a valid one-command batch carrying a KV set — the shape
+// of value an equivocating leader proposes so that whichever branch the
+// view change selects remains executable.
+func kvBatch(client string, seq uint64) (types.Value, string) {
+	key := fmt.Sprintf("%s-k%d", client, seq)
+	op := smr.EncodeKV(smr.KVCommand{
+		Op: smr.OpSet, Client: client, Seq: seq, Key: key, Value: client + "-v",
+	})
+	req := &msg.Request{Client: types.ClientID(client), Seq: seq, Op: op}
+	return smr.EncodeBatch([]smr.Command{smr.Command(msg.Encode(req))}), key
+}

@@ -1,0 +1,416 @@
+package byz
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/smr"
+	"repro/internal/types"
+)
+
+// The five end-to-end adversary scenarios of docs/THREAT_MODEL.md. Each
+// runs the full SMR stack — pipelined windows, view synchronization,
+// sessions/replies, and (where relevant) checkpointing, state transfer,
+// and durable recovery — against one adversarial replica driver, under
+// both resilience shapes, and asserts both halves of the paper's claim:
+// safety (no divergent confirmed replies, byte-identical application
+// state) and liveness (the view change recovers the attacked slots and
+// the cluster keeps executing client commands).
+
+// TestByzEquivocatingLeaderSMR: the corrupted leader of slot 0's view 1
+// proposes value A to one group of correct replicas and value B to the
+// rest, then goes silent. The split keeps both branches below the commit
+// quorum, so view 1 cannot decide; the view change's vote selection must
+// converge every correct replica on the same branch.
+func TestByzEquivocatingLeaderSMR(t *testing.T) {
+	for _, tc := range byzConfigs {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			byzID := types.ProcessID(1) // leader of view 1 of every slot
+			correct := correctPeers(cfg, byzID)
+
+			valueA, keyA := kvBatch("byz-a", 1)
+			valueB, _ := kvBatch("byz-b", 1)
+			groupA := make(map[types.ProcessID]bool)
+			th := newByzCluster(t, cfg, byzID, 901, clusterOpts{
+				behavior: &SlotEquivocator{Slot: 0, ValueA: valueA, ValueB: valueB, GroupA: groupA},
+			})
+			// Split so that neither branch can decide in view 1 (both below
+			// the commit and fast quorums) while exactly one branch — A —
+			// meets the selection quorum in the view change.
+			nA := th.th.CommitQuorum() - 1
+			for _, p := range correct[:nA] {
+				groupA[p] = true
+			}
+			nB := len(correct) - nA
+			if nA >= th.th.FastQuorum() || nA < th.th.SelectionQuorum() || nB >= th.th.SelectionQuorum() {
+				t.Fatalf("bad split for n=%d: |A|=%d |B|=%d (fast=%d commit=%d selection=%d)",
+					cfg.N, nA, nB, th.th.FastQuorum(), th.th.CommitQuorum(), th.th.SelectionQuorum())
+			}
+
+			keyC0 := th.submit("c0", 1) // triggers the equivocation
+
+			th.pump(30*time.Second, func() bool {
+				return th.allCorrect(func(_ types.ProcessID, r *smr.Replica) bool {
+					_, ok := r.Decided(0)
+					return ok
+				})
+			}, "every correct replica to decide slot 0 after the view change")
+
+			th.eachCorrect(func(p types.ProcessID, r *smr.Replica) {
+				d, _ := r.Decided(0)
+				if !d.Value.Equal(valueA) {
+					t.Fatalf("replica %s decided slot 0 with the minority branch (%d bytes)", p, len(d.Value))
+				}
+				if d.View < 2 {
+					t.Fatalf("replica %s decided slot 0 in view %d; the equivocated view must not decide", p, d.View)
+				}
+			})
+
+			// Liveness: the displaced client command and a fresh one both
+			// execute on every correct replica.
+			keyC1 := th.submit("c1", 1)
+			th.pump(30*time.Second, func() bool {
+				return th.allCorrect(func(p types.ProcessID, _ *smr.Replica) bool {
+					_, okA := th.stores[p].Get(keyA)
+					_, ok0 := th.stores[p].Get(keyC0)
+					_, ok1 := th.stores[p].Get(keyC1)
+					return okA && ok0 && ok1
+				})
+			}, "the selected branch and both client commands to apply everywhere")
+
+			th.waitConfirmed("c0/1", "c1/1")
+			th.assertReplySafety("c0/1", "c1/1")
+			th.assertStoresEqual()
+		})
+	}
+}
+
+// TestByzGarbageProposerSMR: the corrupted leader drives the first two log
+// slots to decide a non-batch value. The malformed decisions must be
+// counted and skipped without stalling the in-order apply loop, and the
+// client commands the garbage displaced must be re-proposed and execute in
+// later slots — the end-to-end MalformedBatches path.
+func TestByzGarbageProposerSMR(t *testing.T) {
+	const garbageSlots = 2
+	for _, tc := range byzConfigs {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			byzID := types.ProcessID(1)
+			th := newByzCluster(t, cfg, byzID, 902, clusterOpts{
+				behavior: &GarbageProposer{Slots: garbageSlots},
+			})
+
+			keyC0 := th.submit("c0", 1) // triggers the garbage proposals
+
+			th.pump(30*time.Second, func() bool {
+				return th.allCorrect(func(p types.ProcessID, r *smr.Replica) bool {
+					_, ok := th.stores[p].Get(keyC0)
+					return ok && r.Stats().MalformedBatches == garbageSlots
+				})
+			}, "garbage slots to be counted and the displaced command to apply")
+
+			th.eachCorrect(func(p types.ProcessID, r *smr.Replica) {
+				for s := uint64(0); s < garbageSlots; s++ {
+					d, ok := r.Decided(s)
+					if !ok || !d.Value.Equal(GarbageBatch) {
+						t.Fatalf("replica %s: slot %d should have decided the garbage value", p, s)
+					}
+				}
+				st := r.Stats()
+				if st.AppliedSlots < garbageSlots+1 {
+					t.Fatalf("replica %s: apply frontier %d stalled behind the garbage slots", p, st.AppliedSlots)
+				}
+				if st.Reproposed == 0 {
+					t.Fatalf("replica %s: displaced command was never re-proposed", p)
+				}
+				if st.AppliedCommands == 0 {
+					t.Fatalf("replica %s: no commands applied", p)
+				}
+			})
+
+			// Liveness: the cluster keeps deciding past the garbage prefix.
+			keyC1 := th.submit("c1", 1)
+			th.pump(30*time.Second, func() bool {
+				return th.allCorrect(func(p types.ProcessID, _ *smr.Replica) bool {
+					_, ok := th.stores[p].Get(keyC1)
+					return ok
+				})
+			}, "a post-attack command to apply everywhere")
+
+			th.waitConfirmed("c0/1", "c1/1")
+			th.assertReplySafety("c0/1", "c1/1")
+			th.assertStoresEqual()
+		})
+	}
+}
+
+// TestByzCommitCertReplaySMR: a corrupted non-leader harvests the commit
+// certificate of a decided slot from the Commit broadcasts any process
+// receives, and replays it inside another slot's envelope. Slot-salted
+// signatures must make the certificate worthless outside its own slot: no
+// correct replica may decide the target slot with the replayed value.
+func TestByzCommitCertReplaySMR(t *testing.T) {
+	for _, tc := range byzConfigs {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			byzID := types.ProcessID(cfg.N - 1) // non-leader: the honest leader keeps deciding
+			replayer := &CertReplayer{}
+			th := newByzCluster(t, cfg, byzID, 903, clusterOpts{behavior: replayer})
+
+			keyC0 := th.submit("c0", 1)
+			th.pump(30*time.Second, func() bool {
+				_, ok := replayer.Harvested()
+				return ok
+			}, "the adversary to harvest a commit certificate")
+			src, _ := replayer.Harvested()
+			srcDecision, ok := th.reps[0].Decided(src)
+			if !ok {
+				t.Fatalf("slot %d produced a commit certificate but replica 0 has no decision", src)
+			}
+
+			const target = 5 // idle slot inside the live window
+			if !replayer.Replay(th.drv, src, target) {
+				t.Fatal("replay found no certificate")
+			}
+			th.net.Drain(0)
+
+			// Safety: the replayed certificate must not decide the target
+			// slot — not now, not after the view change resolves it.
+			checkTarget := func() {
+				th.eachCorrect(func(p types.ProcessID, r *smr.Replica) {
+					if d, decided := r.Decided(target); decided && d.Value.Equal(srcDecision.Value) {
+						t.Fatalf("replica %s decided slot %d with slot %d's replayed certificate value", p, target, src)
+					}
+				})
+			}
+			checkTarget()
+
+			// Liveness: replication continues undisturbed.
+			keyC1 := th.submit("c1", 1)
+			th.pump(30*time.Second, func() bool {
+				return th.allCorrect(func(p types.ProcessID, _ *smr.Replica) bool {
+					_, ok0 := th.stores[p].Get(keyC0)
+					_, ok1 := th.stores[p].Get(keyC1)
+					return ok0 && ok1
+				})
+			}, "post-replay commands to apply everywhere")
+			checkTarget()
+
+			th.waitConfirmed("c0/1", "c1/1")
+			th.assertReplySafety("c0/1", "c1/1")
+			th.assertStoresEqual()
+		})
+	}
+}
+
+// TestByzStaleSnapshotServerSMR: a recovering replica is lured into
+// fetching state from the corrupted process, which serves every poisoned
+// response shape — forged certificate, digest-mismatched snapshot bytes,
+// digest-mismatched chunked snapshot, a commit certificate replayed under
+// the wrong slot, and finally a genuine but stale snapshot recorded from a
+// correct peer. The victim must reject all poison, accept only verifiable
+// (stale) progress, and still reach the frontier via the round-robin
+// fetch retry and fresh lag evidence.
+func TestByzStaleSnapshotServerSMR(t *testing.T) {
+	const interval = 4
+	for _, tc := range byzConfigs {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			byzID := types.ProcessID(cfg.N - 1)
+			victim := types.ProcessID(cfg.N - 2)
+			ps := &StaleSnapshotServer{Victim: victim}
+			th := newByzCluster(t, cfg, byzID, 904, clusterOpts{behavior: ps, interval: interval})
+
+			// Build enough history for two stable checkpoints plus a tail.
+			var keys []string
+			for seq := uint64(1); seq <= 10; seq++ {
+				keys = append(keys, th.submit("c0", seq))
+			}
+			th.pump(30*time.Second, func() bool {
+				return th.allCorrect(func(p types.ProcessID, _ *smr.Replica) bool {
+					return th.stores[p].AppliedOps() >= 10
+				})
+			}, "the pre-crash workload to apply")
+
+			// The adversary records a genuine response now; later history
+			// will make it stale.
+			ps.Harvest(th.drv, 0)
+			th.pump(10*time.Second, func() bool { return ps.Stale() }, "the adversary to harvest a genuine snapshot")
+			if ps.StaleTailLen() == 0 {
+				t.Fatal("harvested response carries no tail decisions; the wrong-slot replay vector is dead")
+			}
+			for seq := uint64(11); seq <= 14; seq++ {
+				keys = append(keys, th.submit("c0", seq))
+			}
+			th.pump(30*time.Second, func() bool {
+				return th.allCorrect(func(p types.ProcessID, _ *smr.Replica) bool {
+					return th.stores[p].AppliedOps() >= 14
+				})
+			}, "the harvested snapshot to become stale")
+
+			// Crash the victim and bring it back empty: state transfer is
+			// its only way home, and the adversary gets the first fetch.
+			th.net.SetDown(victim, true)
+			_ = th.reps[victim].Close()
+			tr := th.net.Restart(victim)
+			th.bootReplica(victim, tr)
+			if err := th.reps[victim].Start(); err != nil {
+				t.Fatal(err)
+			}
+			frontier := th.reps[0].AppliedCount()
+			ps.Lure(th.drv, frontier+interval)
+
+			th.pump(10*time.Second, func() bool {
+				return ps.PoisonServed() >= 1 && th.reps[victim].AppliedCount() > 0
+			}, "the victim to fetch from the adversary and accept only the stale part")
+			victimAt := th.reps[victim].AppliedCount()
+			if victimAt >= frontier {
+				t.Fatalf("victim at %d is not behind the frontier %d: the stale response was not stale", victimAt, frontier)
+			}
+
+			// Liveness: fresh traffic and the fetch retry carry the victim
+			// past the forged evidence to the true frontier.
+			for seq := uint64(15); seq <= 22; seq++ {
+				keys = append(keys, th.submit("c0", seq))
+			}
+			th.pump(60*time.Second, func() bool {
+				return th.allCorrect(func(p types.ProcessID, _ *smr.Replica) bool {
+					return th.stores[p].AppliedOps() >= 22
+				})
+			}, "the victim to escape the stale server and reach the frontier")
+
+			for _, k := range keys {
+				if _, ok := th.stores[victim].Get(k); !ok {
+					t.Fatalf("victim is missing key %s after catch-up", k)
+				}
+			}
+			th.assertReplySafety()
+			th.assertStoresEqual()
+		})
+	}
+}
+
+// TestByzAckEquivocatorRecoverySMR probes the durable recovery re-ack
+// guard: the corrupted view-1 leader proposes value A to a single durable
+// victim, which acks and persists the vote; after a crash and recovery the
+// adversary proposes a conflicting B for the same slot and view. The
+// recovered victim must stay silent on B — its pre-crash ack is binding —
+// while still re-acking an identical re-proposal of A, and the view change
+// must resolve the slot consistently for everyone.
+func TestByzAckEquivocatorRecoverySMR(t *testing.T) {
+	for _, tc := range byzConfigs {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			byzID := types.ProcessID(1)
+			victim := types.ProcessID(3)
+			valueA, _ := kvBatch("byz-a", 1)
+			valueB, _ := kvBatch("byz-b", 1)
+			ae := &AckEquivocator{Slot: 0, Victim: victim, ValueA: valueA, ValueB: valueB}
+			th := newByzCluster(t, cfg, byzID, 905, clusterOpts{
+				behavior: ae,
+				dirs:     map[types.ProcessID]string{victim: t.TempDir()},
+			})
+
+			// Tap the network: count the victim's view-1 acks per value.
+			// The tap observes deliveries without touching them, so the
+			// "never happened" half of the claim is a real negative, not an
+			// artifact of filtering.
+			var tapMu sync.Mutex
+			acksA, acksB := 0, 0
+			th.net.SetTap(func(from, _ types.ProcessID, payload []byte) {
+				if from != victim {
+					return
+				}
+				s, m, ok := smr.OpenEnvelope(payload)
+				if !ok || s != 0 {
+					return
+				}
+				var x types.Value
+				switch a := m.(type) {
+				case *msg.Ack:
+					x = a.X
+				case *msg.AckSig:
+					x = a.X
+				default:
+					return
+				}
+				tapMu.Lock()
+				defer tapMu.Unlock()
+				if x.Equal(valueA) {
+					acksA++
+				}
+				if x.Equal(valueB) {
+					acksB++
+				}
+			})
+			ackedA := func() int { tapMu.Lock(); defer tapMu.Unlock(); return acksA }
+			ackedB := func() int { tapMu.Lock(); defer tapMu.Unlock(); return acksB }
+
+			ae.ProposeFirst(th.drv)
+			th.pump(10*time.Second, func() bool { return ackedA() > 0 }, "the victim to ack the pre-crash proposal")
+			preCrash := ackedA()
+
+			// Crash and recover the victim from its data directory.
+			th.net.SetDown(victim, true)
+			_ = th.reps[victim].Close()
+			tr := th.net.Restart(victim)
+			th.bootReplica(victim, tr)
+			if err := th.reps[victim].Start(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The conflicting proposal first — the recovered replica must
+			// hold to its persisted ack, not to this incarnation's "have I
+			// acked yet" flag, which the restart reset.
+			ae.ProposeConflict(th.drv)
+			th.net.Drain(0)
+			if n := ackedB(); n != 0 {
+				t.Fatalf("recovered victim acked the conflicting value %d times: crash-induced equivocation", n)
+			}
+			// An identical re-proposal must still be re-acked: the guard is
+			// selective silence, not deafness.
+			ae.ProposeFirst(th.drv)
+			th.pump(10*time.Second, func() bool { return ackedA() > preCrash }, "the recovered victim to re-ack its persisted value")
+			if n := ackedB(); n != 0 {
+				t.Fatalf("victim acked the conflicting value %d times after the re-ack", n)
+			}
+
+			// Liveness: the half-acked slot resolves through the view
+			// change and client traffic flows. Slot 0 must decide the same
+			// value everywhere, and never B (only the victim ever acked
+			// anything, so B has no quorum anywhere to hide in).
+			keyC0 := th.submit("c0", 1)
+			th.pump(30*time.Second, func() bool {
+				return th.allCorrect(func(p types.ProcessID, r *smr.Replica) bool {
+					_, dec := r.Decided(0)
+					_, ok := th.stores[p].Get(keyC0)
+					return dec && ok
+				})
+			}, "slot 0 to resolve and client traffic to flow")
+
+			var ref types.Decision
+			var have bool
+			th.eachCorrect(func(p types.ProcessID, r *smr.Replica) {
+				d, _ := r.Decided(0)
+				if d.Value.Equal(valueB) {
+					t.Fatalf("replica %s decided slot 0 with the conflicting post-crash value", p)
+				}
+				if d.View < 2 {
+					t.Fatalf("replica %s decided slot 0 in view %d; the attacked view must not decide", p, d.View)
+				}
+				if !have {
+					ref, have = d, true
+				} else if !ref.Value.Equal(d.Value) {
+					t.Fatalf("replica %s decided slot 0 differently from its peers", p)
+				}
+			})
+
+			th.waitConfirmed("c0/1")
+			th.assertReplySafety("c0/1")
+			th.assertStoresEqual()
+		})
+	}
+}

@@ -28,6 +28,7 @@ type ReplicaNet struct {
 	queue []replicaDelivery
 	held  []replicaDelivery
 	hold  HoldFunc
+	tap   TapFunc
 	eps   []*replicaEndpoint
 	down  []bool
 }
@@ -35,6 +36,10 @@ type ReplicaNet struct {
 // HoldFunc decides whether a delivery is parked instead of delivered (see
 // SetHold).
 type HoldFunc func(from, to types.ProcessID, payload []byte) bool
+
+// TapFunc observes a delivery just before it reaches the destination
+// handler (see SetTap).
+type TapFunc func(from, to types.ProcessID, payload []byte)
 
 type replicaDelivery struct {
 	from, to types.ProcessID
@@ -108,6 +113,18 @@ func (rn *ReplicaNet) SetHold(pred HoldFunc) {
 	rn.hold = pred
 }
 
+// SetTap installs (or, with nil, removes) a passive observer invoked for
+// every delivery that actually reaches a destination handler — after hold
+// and down filtering, immediately before the handler runs. The tap cannot
+// alter, reorder, or drop traffic; it is the assertion probe Byzantine
+// scenarios use to prove a negative ("the recovered victim never sent a
+// conflicting ack") without disturbing the schedule they replay.
+func (rn *ReplicaNet) SetTap(tap TapFunc) {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	rn.tap = tap
+}
+
 // ReleaseHeld removes the hold predicate and moves every parked delivery
 // back to the front of the live queue, in their original order, so a
 // subsequent Drain delivers them. It returns the number released.
@@ -156,8 +173,12 @@ func (rn *ReplicaNet) Step() bool {
 		}
 		ep.mu.Unlock()
 	}
+	tap := rn.tap
 	rn.mu.Unlock()
 	if h != nil {
+		if tap != nil {
+			tap(d.from, d.to, d.payload)
+		}
 		h(d.from, d.payload)
 	}
 	return true

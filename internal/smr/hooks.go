@@ -1,0 +1,61 @@
+package smr
+
+import (
+	"repro/internal/msg"
+	"repro/internal/sigcrypto"
+	"repro/internal/wire"
+)
+
+// Adversary hooks: the envelope and signing-domain primitives of the SMR
+// layer, exported for the Byzantine harness (internal/byz). An adversarial
+// replica driver is only a meaningful test if its forgeries are exactly as
+// strong as a compromised-but-key-holding replica's — correctly enveloped,
+// correctly slot-salted, signed with a real cluster key — so the harness
+// builds its messages with the same primitives the honest replica uses
+// rather than a drifting reimplementation. Nothing here weakens the
+// protocol: every helper only combines the adversary's own signer with
+// public encoding rules.
+
+// CtrlSlotID is the reserved envelope slot number that forwards submitted
+// client requests between replicas (the exported name of ctrlSlot).
+const CtrlSlotID = ctrlSlot
+
+// SyncSlotID is the reserved envelope slot number carrying log-maintenance
+// messages — Checkpoint, FetchState, StateSnapshot, SnapshotChunk (the
+// exported name of syncSlot).
+const SyncSlotID = syncSlot
+
+// SlotSigner wraps a signer with the signing-domain salt of slot s: the
+// signer an honest replica would use inside slot s's consensus instance.
+func SlotSigner(inner sigcrypto.Signer, s uint64) sigcrypto.Signer {
+	return slotSigner{inner: inner, salt: slotSalt(s)}
+}
+
+// SlotVerifier wraps a verifier with the signing-domain salt of slot s.
+func SlotVerifier(inner sigcrypto.Verifier, s uint64) sigcrypto.Verifier {
+	return slotVerifier{inner: inner, salt: slotSalt(s)}
+}
+
+// Envelope encodes m under slot number s, exactly as replicas address
+// per-slot consensus traffic (and, with the reserved slot numbers, sync and
+// control traffic).
+func Envelope(s uint64, m msg.Message) []byte {
+	return envelope(s, m)
+}
+
+// OpenEnvelope splits a payload into its slot number and decoded message.
+// Ctrl-slot payloads decode as *msg.Request; all other slots decode via
+// msg.Decode.
+func OpenEnvelope(payload []byte) (uint64, msg.Message, bool) {
+	rd := wire.NewReader(payload)
+	s := rd.Uvarint()
+	if rd.Err() != nil {
+		return 0, nil, false
+	}
+	inner := payload[len(payload)-rd.Remaining():]
+	m, err := msg.Decode(inner)
+	if err != nil {
+		return 0, nil, false
+	}
+	return s, m, true
+}

@@ -7,10 +7,10 @@ GO ?= go
 # committed at the repo root (and CI uploads the regenerated one as a
 # workflow artifact), so the perf trajectory is recorded run over run.
 # FUZZTIME is the per-target budget of the fuzz target.
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR8.json
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-json fuzz smoke fmt fmt-check vet doc-check byz recovery-race clean
+.PHONY: all build test race bench bench-json fuzz smoke leaderkill fmt fmt-check vet doc-check byz recovery-race clean
 
 all: build test
 
@@ -62,6 +62,14 @@ fuzz:
 smoke:
 	$(GO) run ./cmd/fastbft-cluster -f 1 -t 1 -procs -ops 40 -timeout 120s
 
+## leaderkill: boot the same multi-process cluster and kill -9 the view-1
+## leader process mid-workload, never restarting it — the rest of the
+## workload must commit through the windowed view change, the first
+## post-kill write must confirm within the recovery bound, and every
+## surviving replica must report regime-timer suspicions on shutdown
+leaderkill:
+	$(GO) run ./cmd/fastbft-cluster -f 1 -t 1 -procs -leaderkill -ops 30 -timeout 120s
+
 ## fmt: rewrite sources with gofmt
 fmt:
 	gofmt -w .
@@ -84,12 +92,12 @@ doc-check:
 
 ## byz: the Byzantine adversary suite under the race detector — the five
 ## lockstep SMR attack scenarios of internal/byz, each under both resilience
-## shapes (n=5f−1 fast and n=3f+1 slow), plus the multi-process drill where
-## one replica OS process runs the garbage adversary against a networked
-## client (see docs/THREAT_MODEL.md for the attack taxonomy)
+## shapes (n=5f−1 fast and n=3f+1 slow), plus the multi-process drills where
+## one replica OS process runs the garbage or the equivocate adversary
+## against a networked client (see docs/THREAT_MODEL.md for the taxonomy)
 byz:
 	$(GO) test -race -run 'TestByz' ./internal/byz
-	$(GO) test -race -count=1 -run 'TestRunMultiProcessByzantine' ./cmd/fastbft-cluster
+	$(GO) test -race -count=1 -run 'TestRunMultiProcessByzantine|TestRunMultiProcessEquivocate' ./cmd/fastbft-cluster
 
 ## recovery-race: the crash-recovery and torn-write suites under the race
 ## detector (CI runs this as its own step; the paths mix goroutines,

@@ -8,6 +8,7 @@ package fastbft
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 
@@ -694,6 +695,136 @@ func BenchmarkViewChangeDepthAblation(b *testing.B) {
 				elapsed = res.Elapsed
 			}
 			b.ReportMetric(float64(elapsed)/float64(sim.DefaultDelta), "delta-to-decide")
+		})
+	}
+}
+
+// leaderKillRun boots a fresh SMR cluster, commits preOps commands through
+// the live view-1 leader (seeding every replica's decide-latency EWMA),
+// kill -9's the leader (Close is the in-process equivalent: the transport
+// drops, no goodbye), and then measures the submit-to-applied latency of
+// postOps further commands, each of which must ride the windowed view
+// change — the view-1 leader of every slot is the dead process. The
+// returned slice holds the post-kill latencies.
+func leaderKillRun(b *testing.B, cfg types.Config, fixed bool, preOps, postOps int) []time.Duration {
+	b.Helper()
+	const delay = 200 * time.Microsecond
+	scheme := sigcrypto.NewHMAC(cfg.N, 7)
+	net := transport.NewMemNetwork(cfg.N, delay)
+	defer func() { _ = net.Close() }()
+	reps := make([]*smr.Replica, cfg.N)
+	stores := make([]*smr.KVStore, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		pid := types.ProcessID(i)
+		stores[i] = smr.NewKVStore()
+		r, err := smr.NewReplica(smr.Config{
+			Cluster:      cfg,
+			Self:         pid,
+			Signer:       scheme.Signer(pid),
+			Verifier:     scheme.Verifier(),
+			Transport:    net.Transport(pid),
+			App:          stores[i],
+			BaseTimeout:  500 * time.Millisecond,
+			FixedTimeout: fixed,
+			WindowSize:   8,
+			MaxBatch:     4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reps[i] = r
+	}
+	for _, r := range reps {
+		if err := r.Start(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, r := range reps {
+			_ = r.Close()
+		}
+	}()
+	leader := int(types.View(1).Leader(cfg.N))
+	oneOp := func(seq int, waitOn []int) time.Duration {
+		cmd := smr.EncodeKV(smr.KVCommand{
+			Op: smr.OpSet, Client: "lk", Seq: uint64(seq),
+			Key: fmt.Sprintf("k%d", seq), Value: "v",
+		})
+		start := time.Now()
+		if err := reps[0].Submit(cmd); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			done := true
+			for _, i := range waitOn {
+				if stores[i].AppliedOps() < uint64(seq+1) {
+					done = false
+					break
+				}
+			}
+			if done {
+				return time.Since(start)
+			}
+			if time.Since(start) > time.Minute {
+				b.Fatalf("op %d not applied within a minute", seq)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	all := make([]int, 0, cfg.N)
+	survivors := make([]int, 0, cfg.N-1)
+	for i := 0; i < cfg.N; i++ {
+		all = append(all, i)
+		if i != leader {
+			survivors = append(survivors, i)
+		}
+	}
+	for seq := 0; seq < preOps; seq++ {
+		oneOp(seq, all)
+	}
+	_ = reps[leader].Close()
+	lat := make([]time.Duration, 0, postOps)
+	for seq := preOps; seq < preOps+postOps; seq++ {
+		lat = append(lat, oneOp(seq, survivors))
+	}
+	return lat
+}
+
+// BenchmarkSMRLeaderKillP99 is the PR's acceptance benchmark (BENCH_PR8):
+// tail latency of commands committed after the view-1 leader dies. The
+// fixed-500ms arm is the pre-fix behavior — a hard BaseTimeout of leader
+// suspicion charged to every slot the dead leader never proposes — and the
+// adaptive arm is the windowed view change with EWMA-tracked suspicion
+// (floor BaseTimeout/16). The fix's claim is the adaptive p99 beating the
+// fixed p99 by at least 2x.
+func BenchmarkSMRLeaderKillP99(b *testing.B) {
+	cfg := types.Generalized(1, 1)
+	const preOps, postOps = 30, 20
+	for _, mode := range []struct {
+		name  string
+		fixed bool
+	}{
+		{"timeout=fixed-500ms", true},
+		{"timeout=adaptive", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var lat []time.Duration
+			for i := 0; i < b.N; i++ {
+				lat = append(lat, leaderKillRun(b, cfg, mode.fixed, preOps, postOps)...)
+			}
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			p := func(q float64) float64 {
+				i := int(q*float64(len(lat))+0.5) - 1
+				if i < 0 {
+					i = 0
+				}
+				if i >= len(lat) {
+					i = len(lat) - 1
+				}
+				return float64(lat[i].Microseconds()) / 1000
+			}
+			b.ReportMetric(p(0.50), "p50-ms")
+			b.ReportMetric(p(0.99), "p99-ms")
 		})
 	}
 }

@@ -13,6 +13,12 @@
 //	fastbft-cluster -f 1 -t 1 -procs -byz garbage
 //	                                     # one replica process runs the
 //	                                     # garbage adversary (docs/THREAT_MODEL.md)
+//	fastbft-cluster -f 1 -t 1 -procs -byz equivocate
+//	                                     # the view-1 leader process equivocates
+//	                                     # on one slot, then goes silent
+//	fastbft-cluster -f 1 -t 1 -procs -leaderkill
+//	                                     # kill -9 the view-1 leader process
+//	                                     # mid-workload and bound the recovery
 //
 // With -procs, the KV phase spawns one child process per replica (this same
 // binary, re-executed in replica mode). Each child binds a replica-to-replica
@@ -42,9 +48,24 @@ import (
 	fastbft "repro"
 	"repro/internal/byz"
 	"repro/internal/msg"
+	"repro/internal/quorum"
 	"repro/internal/sigcrypto"
+	"repro/internal/smr"
 	"repro/internal/transport"
+	"repro/internal/types"
 )
+
+// byzKVBatch builds a well-formed single-command batch — a real client
+// request an honest replica would happily execute — for adversaries whose
+// equivocating branches must both be valid values.
+func byzKVBatch(client string, seq uint64) fastbft.Value {
+	op := smr.EncodeKV(smr.KVCommand{
+		Op: smr.OpSet, Client: client, Seq: seq,
+		Key: client + "-key", Value: client + "-value",
+	})
+	req := &msg.Request{Client: types.ClientID(client), Seq: seq, Op: op}
+	return smr.EncodeBatch([]smr.Command{smr.Command(msg.Encode(req))})
+}
 
 // replicaEnv marks a process as a replica child of a -procs run. It is
 // checked before anything else so the same binary (or test binary, via
@@ -73,7 +94,8 @@ func run(args []string) error {
 	procs := fs.Bool("procs", false, "run the KV phase as one OS process per replica, serving a networked client")
 	timeout := fs.Duration("timeout", 2*time.Minute, "hard deadline for the multi-process phase (-procs)")
 	seed := fs.Int64("seed", 1, "deterministic key seed shared with the replica processes (-procs)")
-	byzName := fs.String("byz", "", "corrupt one replica process with the named adversary (requires -procs); see docs/THREAT_MODEL.md. Known: garbage")
+	byzName := fs.String("byz", "", "corrupt one replica process with the named adversary (requires -procs); see docs/THREAT_MODEL.md. Known: garbage, equivocate")
+	leaderKill := fs.Bool("leaderkill", false, "kill -9 the view-1 leader process mid-workload and bound the recovery (requires -procs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,8 +103,16 @@ func run(args []string) error {
 		if !*procs {
 			return fmt.Errorf("-byz requires -procs (the adversary is its own OS process)")
 		}
-		if *byzName != "garbage" {
-			return fmt.Errorf("unknown adversary %q (known: garbage)", *byzName)
+		if *byzName != "garbage" && *byzName != "equivocate" {
+			return fmt.Errorf("unknown adversary %q (known: garbage, equivocate)", *byzName)
+		}
+	}
+	if *leaderKill {
+		if !*procs {
+			return fmt.Errorf("-leaderkill requires -procs (the leader must be its own OS process to kill)")
+		}
+		if *byzName != "" {
+			return fmt.Errorf("-leaderkill and -byz are mutually exclusive (both spend the fault budget on process %d)", byzProcID)
 		}
 	}
 	cfg := fastbft.GeneralizedConfig(*f, *t)
@@ -92,7 +122,13 @@ func run(args []string) error {
 		// (its process slot would have to play honest); go straight to the
 		// adversarial multi-process phase.
 		fmt.Printf("byzantine: replica process %d runs the %q adversary\n", byzProcID, *byzName)
-		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, *byzName)
+		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, *byzName, false)
+	}
+	if *leaderKill {
+		// The drill's whole point is losing the leader; skip the warm-up
+		// consensus round so the workload starts against a full cluster.
+		fmt.Printf("leaderkill: replica process %d (the view-1 leader) will be kill -9'd mid-workload\n", byzProcID)
+		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, "", true)
 	}
 
 	// Phase 1: single-shot consensus over TCP.
@@ -148,7 +184,7 @@ func run(args []string) error {
 	}
 
 	if *procs {
-		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, "")
+		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, "", false)
 	}
 	return runSingleProcess(cfg, *ops)
 }
@@ -244,6 +280,14 @@ const byzProcID = 1
 // many on every one of them.
 const byzGarbageSlots = 2
 
+// leaderKillRecoveryBound caps how long the cluster may take to confirm the
+// first write after the view-1 leader is kill -9'd. With the windowed view
+// change and the 150ms base timeout the drill runs with, recovery is one
+// regime suspicion plus a view change — hundreds of milliseconds; the bound
+// leaves generous slack for loaded CI machines while still catching a
+// regression to per-slot 500ms stalls compounding across the window.
+const leaderKillRecoveryBound = 15 * time.Second
+
 // runMultiProcess is the networked KV phase: one OS process per replica
 // (each durable, with its own data directory), the parent process acting
 // as a real external client over TCP. The crash drill: a third of the way
@@ -260,8 +304,13 @@ const byzGarbageSlots = 2
 // parent collects each correct replica's STATS line and requires the
 // adversary's footprint (the MalformedBatches counter) to be exactly what the
 // attack dictates — evidence the malformed decisions were counted, logged,
-// and skipped rather than silently lost.
-func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time.Duration, byzName string) error {
+// and skipped rather than silently lost — plus at least one regime-timer
+// suspicion, evidence the workload really rode the windowed view change.
+// With leaderKill set the drill instead kill -9's the view-1 leader process
+// (byzProcID — the leader of view 1 of every slot) a third of the way in,
+// never restarts it, times how long the next write takes to confirm, and
+// fails if recovery exceeds leaderKillRecoveryBound.
+func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time.Duration, byzName string, leaderKill bool) error {
 	exe, err := os.Executable()
 	if err != nil {
 		return err
@@ -310,13 +359,24 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 				cargs = append(cargs, "-byz", byzName)
 			} else {
 				// Correct replicas report the adversary's footprint on
-				// shutdown; the flag carries the expected malformed count so
-				// the child knows when its counter is final. The corrupted
-				// view-1 leader never proposes honestly, so every slot pays
-				// one view change — a short timer keeps the drill brisk.
-				cargs = append(cargs, "-byzslots", strconv.Itoa(byzGarbageSlots),
-					"-basetimeout", "150ms")
+				// shutdown. The corrupted view-1 leader never proposes
+				// honestly, so client commands ride the windowed view
+				// change — a short timer keeps the drill brisk. The garbage
+				// adversary additionally dictates an exact malformed-batch
+				// count; the flag carries it so the child knows when its
+				// counter is final.
+				cargs = append(cargs, "-stats", "-basetimeout", "150ms")
+				if byzName == "garbage" {
+					cargs = append(cargs, "-byzslots", strconv.Itoa(byzGarbageSlots))
+				}
 			}
+		}
+		if leaderKill {
+			// Every replica is honest; the survivors report STATS so the
+			// parent can check the regime timer actually fired, and the short
+			// timer makes failover latency about the mechanism, not the
+			// default 500ms budget.
+			cargs = append(cargs, "-stats", "-basetimeout", "150ms")
 		}
 		cmd := exec.Command(exe, cargs...)
 		cmd.Env = append(os.Environ(), replicaEnv+"=1")
@@ -392,10 +452,17 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 	crash2 := cfg.N - 2
 	killAt := ops / 3
 	restartAt := 2 * ops / 3
+	leaderKillAt := -1
 	if byzName != "" {
 		// No crash drill: the fault budget is spent on the adversary.
 		killAt, restartAt = -1, -1
 	}
+	if leaderKill {
+		// No restart-and-shift drill either: the one fault is the leader.
+		killAt, restartAt = -1, -1
+		leaderKillAt = ops / 3
+	}
+	var leaderKillRecovery time.Duration
 	start := time.Now()
 	for i := 0; i < ops; i++ {
 		switch i {
@@ -432,6 +499,15 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 			_ = children[crash2].cmd.Wait()
 			fmt.Printf("crash: killed replica process %d — further progress needs the recovered replica\n", crash2)
 		}
+		var leaderKilledAt time.Time
+		if i == leaderKillAt {
+			if err := children[byzProcID].cmd.Process.Kill(); err != nil {
+				return fmt.Errorf("killing leader process %d: %w", byzProcID, err)
+			}
+			_ = children[byzProcID].cmd.Wait()
+			leaderKilledAt = time.Now()
+			fmt.Printf("leaderkill: kill -9'd the view-1 leader (replica process %d) after %d writes\n", byzProcID, i)
+		}
 		key, val := fmt.Sprintf("key-%d", i), fmt.Sprintf("value-%d", i)
 		res, err := cl.Set(key, val)
 		if err != nil {
@@ -439,6 +515,14 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 		}
 		if res != val {
 			return fmt.Errorf("networked write %d: confirmed %q, want %q", i, res, val)
+		}
+		if i == leaderKillAt {
+			leaderKillRecovery = time.Since(leaderKilledAt)
+			fmt.Printf("leaderkill: first write after the kill confirmed in %.0fms\n",
+				float64(leaderKillRecovery.Microseconds())/1000)
+			if leaderKillRecovery > leaderKillRecoveryBound {
+				return fmt.Errorf("leader-kill recovery took %s, want <= %s", leaderKillRecovery, leaderKillRecoveryBound)
+			}
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("multi-process phase exceeded -timeout %s", timeout)
@@ -450,33 +534,28 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 			ops, byzProcID, byzName, elapsed.Seconds(), float64(ops)/elapsed.Seconds())
 		// Shut the correct replicas down one by one and collect their STATS
 		// line: every one of them must have decided, counted, and skipped
-		// exactly the malformed slots the adversary drove.
-		for i, c := range children {
-			if i == byzProcID {
-				continue
-			}
-			_ = c.stdin.Close()
-			fields, err := c.expect("STATS", 1)
-			if err != nil {
-				return fmt.Errorf("replica process %d stats: %w", i, err)
-			}
-			stats := make(map[string]string, len(fields))
-			for _, kv := range fields {
-				if k, v, ok := strings.Cut(kv, "="); ok {
-					stats[k] = v
-				}
-			}
-			malformed, err := strconv.Atoi(stats["malformed"])
-			if err != nil {
-				return fmt.Errorf("replica process %d: bad STATS line %v", i, fields)
-			}
-			if malformed != byzGarbageSlots {
-				return fmt.Errorf("replica process %d counted %d malformed batches, want %d", i, malformed, byzGarbageSlots)
-			}
-			fmt.Printf("replica process %d: malformed=%d applied=%s — the garbage decisions were counted and skipped\n", i, malformed, stats["applied"])
+		// exactly the malformed slots the adversary drove (the equivocator's
+		// branches are well-formed batches, so its count is zero), and every
+		// one must have suspected the silent leader at least once — the
+		// workload's liveness came through the windowed view change.
+		wantMalformed := 0
+		if byzName == "garbage" {
+			wantMalformed = byzGarbageSlots
+		}
+		if err := collectStats(children, byzProcID, wantMalformed); err != nil {
+			return err
 		}
 		_ = children[byzProcID].stdin.Close()
 		return nil
+	}
+	if leaderKill {
+		fmt.Printf("networked kv: %d writes from an external client process, each confirmed by f+1 replicas over TCP, with the view-1 leader kill -9'd a third of the way in and never restarted (%.2fs, %.0f ops/s, %.0fms leader failover)\n",
+			ops, elapsed.Seconds(), float64(ops)/elapsed.Seconds(),
+			float64(leaderKillRecovery.Microseconds())/1000)
+		// The survivors must report at least one regime suspicion each:
+		// two thirds of the workload committed without the view-1 leader,
+		// which is impossible unless the windowed view change carried it.
+		return collectStats(children, byzProcID, 0)
 	}
 	fmt.Printf("networked kv: %d writes from an external client process, each confirmed by f+1 replicas over TCP, with replica %d kill -9'd and restarted from its data dir and replica %d crashed after it (%.2fs, %.0f ops/s)\n",
 		ops, crash1, crash2, elapsed.Seconds(), float64(ops)/elapsed.Seconds())
@@ -508,6 +587,48 @@ func (c *child) expect(tag string, argc int) ([]string, error) {
 	return nil, fmt.Errorf("replica exited before %s", tag)
 }
 
+// collectStats shuts down every child except skip (closing stdin asks it to
+// stop), reads each one's STATS line, and requires the malformed-batch
+// counter to equal wantMalformed and the regime-suspicion counter to be at
+// least one — together, evidence that the drill's decisions were audited
+// and that progress came through the windowed view change rather than a
+// live leader.
+func collectStats(children []*child, skip, wantMalformed int) error {
+	for i, c := range children {
+		if i == skip {
+			continue
+		}
+		_ = c.stdin.Close()
+		fields, err := c.expect("STATS", 1)
+		if err != nil {
+			return fmt.Errorf("replica process %d stats: %w", i, err)
+		}
+		stats := make(map[string]string, len(fields))
+		for _, kv := range fields {
+			if k, v, ok := strings.Cut(kv, "="); ok {
+				stats[k] = v
+			}
+		}
+		malformed, err := strconv.Atoi(stats["malformed"])
+		if err != nil {
+			return fmt.Errorf("replica process %d: bad STATS line %v", i, fields)
+		}
+		if malformed != wantMalformed {
+			return fmt.Errorf("replica process %d counted %d malformed batches, want %d", i, malformed, wantMalformed)
+		}
+		regime, err := strconv.Atoi(stats["regime"])
+		if err != nil {
+			return fmt.Errorf("replica process %d: bad STATS line %v", i, fields)
+		}
+		if regime < 1 {
+			return fmt.Errorf("replica process %d reported no regime suspicions; the drill should have forced the windowed view change", i)
+		}
+		fmt.Printf("replica process %d: malformed=%d regime=%d applied=%s\n",
+			i, malformed, regime, stats["applied"])
+	}
+	return nil
+}
+
 // replicaMain is the child role of a -procs run: one KV replica with a
 // replica-to-replica listener and a client-facing listener, coordinated with
 // the parent over stdin/stdout (ADDRS out, PEERS in, READY out, EOF to stop).
@@ -524,7 +645,8 @@ func replicaMain(args []string) error {
 	syncMode := fs.String("sync", "group", "WAL fsync policy: none, group, or always")
 	baseTimeout := fs.Duration("basetimeout", 0, "per-slot view-1 timer (0 = the replica default)")
 	byzName := fs.String("byz", "", "run the named adversary instead of an honest replica")
-	byzSlots := fs.Int("byzslots", 0, "expected malformed-batch count; >0 makes the replica report STATS on shutdown")
+	stats := fs.Bool("stats", false, "report a STATS line on shutdown")
+	byzSlots := fs.Int("byzslots", 0, "expected malformed-batch count to settle before the STATS line (implies -stats)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -571,7 +693,7 @@ func replicaMain(args []string) error {
 	// Serve until the parent closes our stdin (or kills us).
 	for in.Scan() {
 	}
-	if *byzSlots > 0 {
+	if *stats || *byzSlots > 0 {
 		// The parent reads a STATS line before this process exits. The
 		// malformed counter is final once the apply frontier passed the
 		// attacked prefix; commands keep applying for a moment after the
@@ -581,8 +703,8 @@ func replicaMain(args []string) error {
 			time.Sleep(10 * time.Millisecond)
 		}
 		st := r.Stats()
-		fmt.Printf("STATS malformed=%d applied=%d reproposed=%d\n",
-			st.MalformedBatches, st.AppliedCommands, st.Reproposed)
+		fmt.Printf("STATS malformed=%d applied=%d reproposed=%d regime=%d\n",
+			st.MalformedBatches, st.AppliedCommands, st.Reproposed, st.RegimeTimeouts)
 	}
 	return in.Err()
 }
@@ -601,6 +723,35 @@ func byzReplicaMain(cfg fastbft.Config, self fastbft.ProcessID, seed int64, addr
 	switch name {
 	case "garbage":
 		behavior = &byz.GarbageProposer{Slots: byzGarbageSlots}
+	case "equivocate":
+		// Split the correct replicas so neither equivocating branch can
+		// commit in view 1 (GroupA one short of the commit quorum) while
+		// both branches stay visible to the view change's selection. Both
+		// values are well-formed single-command batches: whichever branch
+		// the selection adopts must execute, so the correct replicas'
+		// malformed counters stay zero.
+		th := quorum.New(cfg)
+		var correct []fastbft.ProcessID
+		for i := 0; i < cfg.N; i++ {
+			if p := fastbft.ProcessID(i); p != self {
+				correct = append(correct, p)
+			}
+		}
+		nA := th.CommitQuorum() - 1
+		nB := len(correct) - nA
+		if nA >= th.FastQuorum() || nA < th.SelectionQuorum() || nB >= th.SelectionQuorum() {
+			return fmt.Errorf("equivocate needs a split below the commit quorum on both branches; n=%d gives groups of %d and %d", cfg.N, nA, nB)
+		}
+		groupA := make(map[fastbft.ProcessID]bool, nA)
+		for _, p := range correct[:nA] {
+			groupA[p] = true
+		}
+		behavior = &byz.SlotEquivocator{
+			Slot:   0,
+			ValueA: byzKVBatch("equivocate-a", 1),
+			ValueB: byzKVBatch("equivocate-b", 1),
+			GroupA: groupA,
+		}
 	default:
 		return fmt.Errorf("unknown adversary %q", name)
 	}

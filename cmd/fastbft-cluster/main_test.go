@@ -65,11 +65,53 @@ func TestRunMultiProcessByzantine(t *testing.T) {
 	}
 }
 
+// TestRunMultiProcessEquivocate runs the multi-process cluster with the
+// view-1 leader process replaced by the slot equivocator: it proposes one
+// well-formed batch to part of the cluster and a different one to the rest
+// — neither branch reaching the commit quorum — then stonewalls. The run
+// passes only if the client workload stays live (the stranded slot and
+// every client command resolve through the windowed view change: each
+// correct replica must report at least one regime suspicion) and no correct
+// replica counts a malformed batch — both equivocating branches are valid
+// values, so whichever one the view change's selection adopts executes
+// cleanly.
+func TestRunMultiProcessEquivocate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns one OS process per replica")
+	}
+	if err := run([]string{"-f", "1", "-t", "1", "-procs", "-byz", "equivocate", "-ops", "12", "-timeout", "90s"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunMultiProcessLeaderKill runs the leader-failure drill: the view-1
+// leader process is kill -9'd a third of the way into the workload and
+// never restarted, so every further confirmed write rides the windowed view
+// change. The run bounds the failover (time from the kill to the next
+// confirmed write) and requires each survivor to report regime suspicions.
+func TestRunMultiProcessLeaderKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns one OS process per replica")
+	}
+	if err := run([]string{"-f", "1", "-t", "1", "-procs", "-leaderkill", "-ops", "18", "-timeout", "90s"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRejectsBadParameters(t *testing.T) {
 	if err := run([]string{"-f", "0"}); err == nil {
 		t.Fatal("expected error for f=0")
 	}
 	if err := run([]string{"-f", "1", "-t", "2"}); err == nil {
 		t.Fatal("expected error for t > f")
+	}
+	if err := run([]string{"-f", "1", "-t", "1", "-byz", "equivocate"}); err == nil {
+		t.Fatal("expected error for -byz without -procs")
+	}
+	if err := run([]string{"-f", "1", "-t", "1", "-leaderkill"}); err == nil {
+		t.Fatal("expected error for -leaderkill without -procs")
+	}
+	if err := run([]string{"-f", "1", "-t", "1", "-procs", "-leaderkill", "-byz", "garbage"}); err == nil {
+		t.Fatal("expected error for -leaderkill with -byz")
 	}
 }

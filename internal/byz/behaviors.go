@@ -65,7 +65,8 @@ var GarbageBatch = types.Value("\xffgarbage-not-a-batch")
 // the first Slots log slots to decide a non-batch value, then goes silent.
 // The malformed decisions must be counted (Stats.MalformedBatches), logged,
 // and skipped without stalling the in-order apply loop; client commands the
-// garbage displaced must be re-proposed in later slots.
+// garbage crowded out must still execute in later slots, which the silence
+// forces through the windowed view change.
 type GarbageProposer struct {
 	// Slots is how many log slots (from 0) receive a garbage proposal.
 	Slots uint64

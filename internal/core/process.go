@@ -15,6 +15,9 @@ import (
 type Process struct {
 	replica *Replica
 	sync    *viewsync.Synchronizer
+	// enterHook, when set, runs immediately before the replica enters a view
+	// the synchronizer selected (see SetEnterHook).
+	enterHook func(types.View)
 }
 
 // NewProcess builds the full per-process state machine. baseTimeout is the
@@ -33,6 +36,14 @@ func NewProcess(cfg types.Config, id types.ProcessID, signer sigcrypto.Signer, v
 // Replica exposes the consensus state machine (read-mostly: experiments
 // inspect views, votes, and decisions through it).
 func (p *Process) Replica() *Replica { return p.replica }
+
+// SetEnterHook registers fn to run synchronously right before the replica
+// enters a new view, with the view about to be entered. The hook runs before
+// any protocol step of the new view — in particular before the replica's own
+// vote is recorded and before buffered votes of that view are replayed — so
+// a runtime can refresh the replica's input (SetInput) in time for a free
+// selection, no matter how deliveries interleave.
+func (p *Process) SetEnterHook(fn func(types.View)) { p.enterHook = fn }
 
 // ID returns the process identifier.
 func (p *Process) ID() types.ProcessID { return p.replica.ID() }
@@ -76,6 +87,9 @@ func (p *Process) applySync(out viewsync.Output, now Time) []Action {
 		actions = append(actions, TimerAction{Deadline: out.Deadline})
 	}
 	if out.Enter != 0 {
+		if p.enterHook != nil {
+			p.enterHook(out.Enter)
+		}
 		actions = append(actions, p.replica.EnterView(out.Enter)...)
 	}
 	_ = now

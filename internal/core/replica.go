@@ -136,6 +136,17 @@ func (r *Replica) Decided() (types.Decision, bool) { return r.decision, r.decide
 // Input returns the process's input value.
 func (r *Replica) Input() types.Value { return r.input.Clone() }
 
+// SetInput replaces the process's input value. The input is read in two
+// places: leader(1)'s initial proposal, and a later leader's free selection
+// (when no collected vote constrains the choice, the leader proposes its own
+// input — Section 3.2). The SMR layer uses SetInput just before this process
+// enters a view it leads: under leader-driven window fill, follower
+// instances open with a nil input, and without a refreshed input a free
+// selection would propose a no-op while real commands wait in the replica's
+// queue. Calling it after the instance has adopted or selected a value has
+// no effect on safety — those paths never read the input again.
+func (r *Replica) SetInput(v types.Value) { r.input = v.Clone() }
+
 // DecisionCert returns a commit certificate for the decided value, if the
 // replica has assembled or received one (ack signatures are broadcast on
 // every path, so under synchrony a certificate forms shortly after the
@@ -226,9 +237,16 @@ func (r *Replica) enterView(v types.View) []Action {
 	switch {
 	case leader == r.id && v == 1:
 		// The first leader proposes its own input with an empty certificate.
-		tau := r.signer.Sign(msg.ProposeDigest(r.input, 1))
-		p := &msg.Propose{View: 1, X: r.input.Clone(), Cert: nil, Tau: tau}
-		out = append(out, r.broadcast(p)...)
+		// A leader with no input stays silent: proposing the empty value
+		// would hand followers a vote for it, and that vote then beats any
+		// real command a view-change leader grafts onto a free selection
+		// (the orphan-slot hazard, in its view-1 guise). Silence leaves
+		// every view-1 vote Nil, so the next view's selection is free.
+		if r.input != nil {
+			tau := r.signer.Sign(msg.ProposeDigest(r.input, 1))
+			p := &msg.Propose{View: 1, X: r.input.Clone(), Cert: nil, Tau: tau}
+			out = append(out, r.broadcast(p)...)
+		}
 	case leader == r.id:
 		// Run the view change: collect n−f votes, starting with our own.
 		r.leader = &leaderState{

@@ -151,9 +151,6 @@ func (r *Replica) stabilizeLocked(cert *msg.CheckpointCert, snap []byte) {
 	}
 	for num, sl := range r.slots {
 		if num <= s {
-			if sl.timer != nil {
-				sl.timer.Stop()
-			}
 			// With pipelining the live window can hold instances the replica
 			// proposed for but never saw decide (state transfer restored past
 			// them); return their in-flight chunks to the queue so the

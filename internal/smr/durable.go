@@ -100,7 +100,10 @@ func (r *Replica) broadcastEnvLocked(env []byte) {
 //     state.
 //
 // What remains durably gated: the replica's own votes (Ack, AckSig, the
-// view-change Vote) and a decision's effects (client replies, OnCommit).
+// view-change Vote — and its coalesced WindowVote form), the coalesced
+// WindowWish (the per-slot wishes it bundles feed peers' view-entry
+// quorums, and a replica that forgot wishing could stall re-entry), and a
+// decision's effects (client replies, OnCommit).
 // The caller holds r.mu.
 func (r *Replica) sendOrderedLocked(to types.ProcessID, env []byte) {
 	if r.recovering {
@@ -297,7 +300,10 @@ func (r *Replica) resumeRestoredSlotsLocked() {
 		if _, dec := r.decided[s]; dec {
 			continue
 		}
-		r.startSlotLocked(s)
+		// Restored slots restart from their persisted vote state, never
+		// from a fresh chunk, so the lead flag is moot; false keeps the
+		// follower invariant (only fillWindowLocked assigns chunks).
+		r.startSlotLocked(s, false)
 	}
 }
 

@@ -131,10 +131,13 @@ func submitKV(t *testing.T, r *Replica, client string, i int) {
 // ---------------------------------------------------------------------------
 
 // TestSMRPipelineFillsWindow submits a burst of commands without letting the
-// network deliver anything and asserts the submitting replica spins up one
-// consensus instance per pending command, up to the window — the pipelining
-// property itself: replication concurrency is bounded by WindowSize, not by
-// one consensus round-trip at a time.
+// network deliver anything and asserts the leader spins up one consensus
+// instance per pending command, up to the window — the pipelining property
+// itself: replication concurrency is bounded by WindowSize, not by one
+// consensus round-trip at a time. Window fill is leader-driven (only the
+// view-1 leader, process 1, assigns chunks to fresh slots — a follower
+// speculating on slot assignment is what used to orphan commands), so the
+// burst goes through the leader.
 func TestSMRPipelineFillsWindow(t *testing.T) {
 	cfg := types.Generalized(1, 1)
 	const window = 4
@@ -145,15 +148,16 @@ func TestSMRPipelineFillsWindow(t *testing.T) {
 		}
 	}()
 
+	leader := types.View(1).Leader(cfg.N)
 	const ops = 7 // more than the window: the excess must stay queued
 	for i := 0; i < ops; i++ {
-		submitKV(t, reps[0], "burst", i)
+		submitKV(t, reps[leader], "burst", i)
 	}
-	if got := reps[0].SlotCount(); got != window {
-		t.Fatalf("submitter runs %d live instances after %d submissions, want the full window %d", got, ops, window)
+	if got := reps[leader].SlotCount(); got != window {
+		t.Fatalf("leader runs %d live instances after %d submissions, want the full window %d", got, ops, window)
 	}
-	if got := reps[0].PendingCount(); got != ops {
-		t.Fatalf("submitter tracks %d commands, want %d (in flight + queued)", got, ops)
+	if got := reps[leader].PendingCount(); got != ops {
+		t.Fatalf("leader tracks %d commands, want %d (in flight + queued)", got, ops)
 	}
 	for _, r := range reps {
 		if err := r.inflightInvariantErr(); err != nil {

@@ -146,6 +146,8 @@ func (r *Replica) HandleRequest(req *msg.Request, reply ReplyFunc) error {
 	w.Uvarint(ctrlSlot)
 	r.broadcastOrderedLocked(append(w.Bytes(), enc...))
 	r.fillWindowLocked()
+	r.flushViewBufsLocked()
+	r.pokeRegimeLocked()
 	r.mu.Unlock()
 	return nil
 }

@@ -12,6 +12,19 @@
 // commands are applied strictly in slot order, and commit observers see
 // slots in order too.
 //
+// Window slots are opened by the leader: only the replica that leads view 1
+// (and with it the current leader regime — leader(v) is the same process
+// for every slot at view v) assigns pending-queue chunks to fresh slots;
+// followers keep their commands queued and open instances only when the
+// leader's traffic arrives. This is what makes slot assignment
+// crash-consistent — a follower can never strand a command in a slot the
+// leader will not propose. Leader failure is handled per regime, not per
+// slot: one adaptive timer (EWMA of decide latency, exponential backoff,
+// reset on progress) watches the whole window, and when it fires every
+// in-flight slot changes view in one coordinated step, with wishes and
+// votes coalesced into windowed messages (see pokeRegimeLocked,
+// flushViewBufsLocked).
+//
 // Every command is an encoded msg.Request carrying a (client, sequence)
 // pair; replicas deduplicate by per-client session tables (see session.go),
 // cache the last reply per client for retransmissions, and prune inactive
@@ -25,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"sort"
 	"sync"
 	"time"
 
@@ -35,6 +49,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/types"
+	"repro/internal/viewsync"
 	"repro/internal/wire"
 )
 
@@ -52,6 +67,11 @@ const ctrlSlot = ^uint64(0)
 // messages (Checkpoint, FetchState, StateSnapshot); they concern the log as
 // a whole, not one consensus instance.
 const syncSlot = ^uint64(0) - 1
+
+// viewSlot is the reserved envelope slot number carrying windowed
+// view-change messages (WindowWish, WindowVote): they span many consensus
+// instances and are unbundled into per-slot deliveries by the receiver.
+const viewSlot = ^uint64(0) - 2
 
 // App consumes decided commands in slot order.
 type App interface {
@@ -84,8 +104,15 @@ type Config struct {
 	App App
 	// OnCommit, if set, observes decided slots in slot order.
 	OnCommit CommitFunc
-	// BaseTimeout is the view-1 timer of each consensus instance.
+	// BaseTimeout caps the leader-suspicion timeout of the regime timer
+	// (and seeds it while no decide latency has been observed yet). The
+	// viewsync default applies when zero.
 	BaseTimeout time.Duration
+	// FixedTimeout disables adaptive leader-suspicion timeouts: the regime
+	// timer always waits the full BaseTimeout (with backoff on repeated
+	// failure) instead of tracking the observed decide latency. Used by
+	// benchmarks to measure the pre-adaptive baseline.
+	FixedTimeout bool
 	// WindowSize bounds how many consensus instances may be live at once
 	// (default 8): the replica participates in slots
 	// [lowestUndecided, lowestUndecided+WindowSize), and starts an instance
@@ -134,6 +161,13 @@ type Stats struct {
 	// slot proposals; PendingCommands is the number awaiting assignment.
 	InflightCommands int
 	PendingCommands  int
+	// RegimeTimeouts counts regime-timer fires that found no progress and
+	// pushed the window into a view change (leader suspicions).
+	RegimeTimeouts uint64
+	// RegimeTimeout is the suspicion delay the regime timer would use if
+	// armed now: the adaptive EWMA-derived value (or BaseTimeout when fixed
+	// or unsampled), scaled by the current backoff.
+	RegimeTimeout time.Duration
 }
 
 // Replica is one member of the replicated state machine.
@@ -172,6 +206,28 @@ type Replica struct {
 	statApplied   uint64
 	statMalformed uint64
 	statReprop    uint64
+	statRegime    uint64
+
+	// Regime timer: one leader-suspicion timer for the whole window (see
+	// pokeRegimeLocked). regimeGen invalidates in-flight AfterFunc fires
+	// (stale fires and fires after Close observe a bumped generation);
+	// regimeNext/regimeApply snapshot the log frontier when the timer was
+	// armed, so a fire can tell progress from a stall; regimeBackoff counts
+	// consecutive no-progress fires; ewmaDecide tracks observed decide
+	// latency for the adaptive timeout.
+	regimeTimer   *time.Timer
+	regimeGen     uint64
+	regimeNext    uint64
+	regimeApply   uint64
+	regimeBackoff uint
+	ewmaDecide    time.Duration
+
+	// Per-view coalescing buffers for windowed view-change traffic: wishes
+	// and votes emitted by per-slot instances inside one locked entry are
+	// batched and flushed as WindowWish/WindowVote messages at the end of
+	// the entry (see flushViewBufsLocked).
+	wishBuf map[types.View][]uint64
+	voteBuf map[types.View][]msg.WindowVoteEntry
 
 	// Checkpoint / state-transfer state (see checkpoint.go, statetransfer.go).
 	certs      map[uint64]*msg.CommitCert            // per-slot commit certificates
@@ -199,8 +255,10 @@ type Replica struct {
 }
 
 type slot struct {
-	proc  *core.Process
-	timer *time.Timer
+	proc *core.Process
+	// born is when the instance was opened locally; the decide latency
+	// (born to decision) feeds the regime timer's EWMA.
+	born time.Time
 	// proposed is the disjoint chunk of the pending queue this replica
 	// proposed for the slot. The commands are tracked as in-flight until the
 	// slot decides; those the decision does not contain are returned to the
@@ -260,6 +318,8 @@ func NewReplica(cfg Config) (*Replica, error) {
 		snaps:         make(map[uint64][]byte),
 		serveTime:     make(map[types.ProcessID]time.Time),
 		restoredVotes: make(map[uint64]*storage.VoteState),
+		wishBuf:       make(map[types.View][]uint64),
+		voteBuf:       make(map[types.View][]msg.WindowVoteEntry),
 	}
 	r.commitCond = sync.NewCond(&r.mu)
 	if r.store != nil {
@@ -290,6 +350,11 @@ func (r *Replica) Start() error {
 	// Re-join the slots the pre-crash incarnation was mid-vote in (no-op
 	// without recovered state).
 	r.resumeRestoredSlotsLocked()
+	r.flushViewBufsLocked()
+	// A recovered replica may come back with work outstanding (restored
+	// in-flight slots, a recovered pending queue) and a dead leader; the
+	// regime timer is its only way forward.
+	r.pokeRegimeLocked()
 	return nil
 }
 
@@ -303,10 +368,13 @@ func (r *Replica) Close() error {
 		return nil
 	}
 	r.closed = true
-	for _, s := range r.slots {
-		if s.timer != nil {
-			s.timer.Stop()
-		}
+	// Invalidate any in-flight regime fire (a fire that already dequeued
+	// observes the bumped generation and the closed flag and does nothing),
+	// then stop the timer itself.
+	r.regimeGen++
+	if r.regimeTimer != nil {
+		r.regimeTimer.Stop()
+		r.regimeTimer = nil
 	}
 	if r.fetchTimer != nil {
 		r.fetchTimer.Stop()
@@ -383,6 +451,8 @@ func (r *Replica) Stats() Stats {
 		Reproposed:       r.statReprop,
 		InflightCommands: len(r.inflight),
 		PendingCommands:  r.pending.Len(),
+		RegimeTimeouts:   r.statRegime,
+		RegimeTimeout:    r.regimeDelayLocked(),
 	}
 }
 
@@ -440,6 +510,17 @@ func saltedMsg(salt, msg []byte) []byte {
 // proposals replicate concurrently instead of one per consensus round-trip.
 // The caller holds r.mu.
 //
+// Only the leader of view 1 fills the window. Every slot starts at view 1
+// with the same leader, so on any other replica a speculatively opened slot
+// proposes into an instance whose leader may never pick the same chunk —
+// and a chunk assigned to a slot the leader never proposes is orphaned: it
+// sits in flight until a view change frees it, stalling the client for a
+// full suspicion timeout. Followers keep their commands pending (the
+// ctrlSlot forward puts them in the leader's queue) and open instances only
+// when slot traffic arrives (ensureSlotLocked) or the regime timer suspects
+// the leader. Commands stranded by a leader failure are grafted onto the
+// view-change leader's instances instead (see enterSlotViewLocked).
+//
 // This runs on every request arrival, so the saturated case must stay
 // cheap: when the window holds no startable slot the function returns after
 // an O(WindowSize) scan, without touching the queue. Compaction (dropping
@@ -449,6 +530,9 @@ func saltedMsg(salt, msg []byte) []byte {
 // slot can actually start.
 func (r *Replica) fillWindowLocked() {
 	if r.pending.Len() == 0 {
+		return
+	}
+	if types.View(1).Leader(r.cfg.Cluster.N) != r.cfg.Self {
 		return
 	}
 	startable := false
@@ -476,7 +560,7 @@ func (r *Replica) fillWindowLocked() {
 		if _, dec := r.decided[s]; dec {
 			continue
 		}
-		r.startSlotLocked(s)
+		r.startSlotLocked(s, true)
 	}
 }
 
@@ -496,9 +580,10 @@ func (r *Replica) takeChunkLocked(s uint64) []Command {
 
 // ensureSlotLocked creates the consensus instance for slot s if it is
 // within the live window and does not exist yet — the on-traffic path: a
-// peer's message arrived for a slot this replica has not started. The queue
-// is compacted before a chunk is taken; fillWindowLocked compacts once for
-// the whole window and calls startSlotLocked directly.
+// peer's message arrived for a slot this replica has not started. The
+// instance opens without a chunk of its own (only the leader assigns
+// chunks; see fillWindowLocked), so an instance opened by a follower can
+// never orphan a command.
 func (r *Replica) ensureSlotLocked(s uint64) *slot {
 	if sl, ok := r.slots[s]; ok {
 		return sl
@@ -506,25 +591,25 @@ func (r *Replica) ensureSlotLocked(s uint64) *slot {
 	if s < r.next || s >= r.next+uint64(r.cfg.WindowSize) {
 		return nil
 	}
-	r.compactPendingLocked()
-	return r.startSlotLocked(s)
+	return r.startSlotLocked(s, false)
 }
 
-// startSlotLocked creates the instance for slot s, proposing a fresh
-// disjoint chunk of the pending queue (or a no-op when none is queued). A
-// slot with recovered vote state instead restarts from that state: its
-// input is the last value it adopted — so a recovered leader re-proposes
-// what it already signed rather than equivocating with a fresh chunk — and
-// the instance refuses to ack conflicting values in views it voted in
-// before the crash. The caller holds r.mu, has bounds-checked s against
-// the window, and has compacted the queue.
-func (r *Replica) startSlotLocked(s uint64) *slot {
+// startSlotLocked creates the instance for slot s. With lead set (the
+// leader-driven fill path) the instance proposes a fresh disjoint chunk of
+// the pending queue; without it the instance opens with a nil input and
+// proposes nothing. A slot with recovered vote state instead restarts from
+// that state: its input is the last value it adopted — so a recovered
+// leader re-proposes what it already signed rather than equivocating with a
+// fresh chunk — and the instance refuses to ack conflicting values in views
+// it voted in before the crash. The caller holds r.mu, has bounds-checked s
+// against the window, and (when lead is set) has compacted the queue.
+func (r *Replica) startSlotLocked(s uint64, lead bool) *slot {
 	restored := r.restoredVotes[s]
 	var chunk []Command
 	input := types.Value(nil)
 	if restored != nil && len(restored.Acks) > 0 {
 		input = restored.Acks[len(restored.Acks)-1].X.Clone()
-	} else {
+	} else if lead {
 		chunk = r.takeChunkLocked(s)
 		if len(chunk) > 0 {
 			input = EncodeBatch(chunk)
@@ -538,7 +623,11 @@ func (r *Replica) startSlotLocked(s uint64) *slot {
 	if err != nil {
 		return nil // configuration was validated at construction; unreachable
 	}
-	sl := &slot{proc: proc, proposed: chunk}
+	sl := &slot{proc: proc, proposed: chunk, born: time.Now()}
+	// The hook runs before the instance enters any view this replica leads —
+	// ahead of vote collection, however deliveries interleave — so a free
+	// selection proposes real pending commands, not a no-op.
+	proc.SetEnterHook(func(v types.View) { r.enterSlotViewLocked(s, sl, v) })
 	if restored != nil {
 		r.restoreSlotVoteLocked(s, sl, restored)
 	}
@@ -547,7 +636,39 @@ func (r *Replica) startSlotLocked(s uint64) *slot {
 	return sl
 }
 
+// enterSlotViewLocked runs just before slot s enters view v (registered as
+// the instance's enter hook). When this replica leads the new view and the
+// instance carries nothing — no chunk proposed by this replica, nothing
+// adopted in an earlier view — the leader grafts a fresh chunk of the
+// pending queue onto the instance. Under leader-driven fill, follower
+// instances open with a nil input; without this graft, a view change whose
+// selection comes up free would propose a no-op, and the very commands
+// whose stall forced the view change would starve. Safety is untouched: the
+// input only matters to a free selection, which by definition no collected
+// vote constrains. The caller holds r.mu (the hook fires inside
+// Deliver/Tick/Init, which always run under it).
+func (r *Replica) enterSlotViewLocked(s uint64, sl *slot, v types.View) {
+	if v <= 1 || v.Leader(r.cfg.Cluster.N) != r.cfg.Self {
+		return
+	}
+	if _, dec := r.decided[s]; dec {
+		return
+	}
+	if len(sl.proposed) > 0 || !sl.proc.Replica().CurrentVote().Nil {
+		return
+	}
+	r.compactPendingLocked()
+	chunk := r.takeChunkLocked(s)
+	if len(chunk) == 0 {
+		return
+	}
+	sl.proposed = chunk
+	sl.proc.Replica().SetInput(EncodeBatch(chunk))
+}
+
 // onPayload decodes a slot-tagged payload and routes it to the instance.
+// Every delivery ends by flushing coalesced view-change traffic and
+// reconciling the regime timer with the (possibly moved) log frontier.
 func (r *Replica) onPayload(from types.ProcessID, payload []byte) {
 	rd := wire.NewReader(payload)
 	s := rd.Uvarint()
@@ -560,6 +681,13 @@ func (r *Replica) onPayload(from types.ProcessID, payload []byte) {
 	if r.closed {
 		return
 	}
+	r.routePayloadLocked(from, s, inner)
+	r.flushViewBufsLocked()
+	r.pokeRegimeLocked()
+}
+
+// routePayloadLocked dispatches one decoded envelope. The caller holds r.mu.
+func (r *Replica) routePayloadLocked(from types.ProcessID, s uint64, inner []byte) {
 	if s == ctrlSlot {
 		// A forwarded client request; queue it for proposal unless the
 		// session table already proves it executed.
@@ -579,6 +707,10 @@ func (r *Replica) onPayload(from types.ProcessID, payload []byte) {
 		r.onSyncLocked(from, m)
 		return
 	}
+	if s == viewSlot {
+		r.onViewMsgLocked(from, m)
+		return
+	}
 	sl, ok := r.slots[s]
 	if !ok {
 		sl = r.ensureSlotLocked(s)
@@ -588,6 +720,50 @@ func (r *Replica) onPayload(from types.ProcessID, payload []byte) {
 			if s >= r.next+uint64(r.cfg.WindowSize) {
 				r.noteBehindLocked(s, from)
 			}
+			return
+		}
+	}
+	r.applyActions(s, sl, sl.proc.Deliver(from, m, r.now()))
+	r.captureCertLocked(s, sl)
+}
+
+// onViewMsgLocked unbundles a windowed view-change message into per-slot
+// deliveries. Decided slots are skipped (their instances only linger for
+// stragglers); slots this replica has not opened yet are opened on demand,
+// exactly as per-slot traffic would. The caller holds r.mu.
+func (r *Replica) onViewMsgLocked(from types.ProcessID, m msg.Message) {
+	switch t := m.(type) {
+	case *msg.WindowWish:
+		if t.Hi >= r.next+uint64(r.cfg.WindowSize) {
+			// The sender is view-changing slots beyond our window: the
+			// cluster's frontier is past ours, which is lag evidence just
+			// like per-slot traffic beyond the window.
+			r.noteBehindLocked(t.Hi, from)
+		}
+		for s := t.Lo; s <= t.Hi; s++ {
+			r.deliverSlotLocked(from, s, &msg.Wish{View: t.View})
+		}
+	case *msg.WindowVote:
+		for i := range t.Entries {
+			e := &t.Entries[i]
+			// Each entry's signed vote was produced in (and is verified
+			// against) the slot's own signing domain, so the per-slot
+			// equivocation and restored-ack guards hold exactly as with
+			// per-slot Vote messages.
+			r.deliverSlotLocked(from, e.Slot, &msg.Vote{View: t.View, SV: e.SV})
+		}
+	}
+}
+
+// deliverSlotLocked routes one unbundled per-slot message to its instance,
+// opening it if needed. The caller holds r.mu.
+func (r *Replica) deliverSlotLocked(from types.ProcessID, s uint64, m msg.Message) {
+	if _, dec := r.decided[s]; dec {
+		return
+	}
+	sl, ok := r.slots[s]
+	if !ok {
+		if sl = r.ensureSlotLocked(s); sl == nil {
 			return
 		}
 	}
@@ -626,19 +802,238 @@ func (r *Replica) captureCertLocked(s uint64, sl *slot) {
 	}
 }
 
-// onTimer fires the view timer of slot s.
-func (r *Replica) onTimer(s uint64) {
+// ---------------------------------------------------------------------------
+// Regime timer: windowed leader suspicion with adaptive timeouts
+// ---------------------------------------------------------------------------
+//
+// One timer watches the whole window instead of one per slot. Leader(v) is
+// the same process for every slot at view v, so when the pipeline stalls it
+// stalls as a regime: suspecting the leader slot by slot, 500ms at a time,
+// serializes WindowSize view changes where one coordinated step suffices.
+// The timer is armed whenever work is outstanding, with a snapshot of the
+// log frontier (next, applyPtr); a fire that finds the frontier moved is
+// progress and re-arms with the backoff reset; a fire that finds it stuck
+// ticks every undecided in-flight slot at once — pushing them all into the
+// view-change protocol in the same step — and re-arms with the delay
+// doubled. The delay itself tracks reality instead of a fixed constant: an
+// EWMA of observed decide latency, clamped to [base/16 (min 20ms), base].
+
+// pokeRegimeLocked reconciles the regime timer with the replica's current
+// work: stop it when nothing is outstanding, arm it when something is, and
+// re-arm (resetting the backoff) when the frontier moved since it was
+// armed. Called at the tail of every locked entry point that can change the
+// frontier or the workload. The caller holds r.mu.
+func (r *Replica) pokeRegimeLocked() {
+	if r.closed || !r.started || r.recovering {
+		return
+	}
+	if !r.workOutstandingLocked() {
+		r.regimeGen++ // invalidate an in-flight fire racing the Stop
+		r.regimeBackoff = 0
+		if r.regimeTimer != nil {
+			r.regimeTimer.Stop()
+			r.regimeTimer = nil
+		}
+		return
+	}
+	if r.regimeTimer == nil {
+		r.armRegimeLocked()
+		return
+	}
+	if r.next != r.regimeNext || r.applyPtr != r.regimeApply {
+		r.regimeBackoff = 0
+		r.armRegimeLocked()
+	}
+}
+
+// workOutstandingLocked reports whether the replica is waiting on the
+// leader regime for anything: queued or in-flight commands, or an undecided
+// instance in the live window. The caller holds r.mu.
+func (r *Replica) workOutstandingLocked() bool {
+	if r.pending.Len() > 0 || len(r.inflight) > 0 {
+		return true
+	}
+	for s := range r.slots {
+		if s < r.next || s >= r.next+uint64(r.cfg.WindowSize) {
+			continue
+		}
+		if _, dec := r.decided[s]; !dec {
+			return true
+		}
+	}
+	return false
+}
+
+// armRegimeLocked (re)arms the regime timer with the current adaptive
+// delay, snapshotting the frontier so the fire can tell progress from a
+// stall. The caller holds r.mu.
+func (r *Replica) armRegimeLocked() {
+	r.regimeGen++
+	gen := r.regimeGen
+	r.regimeNext, r.regimeApply = r.next, r.applyPtr
+	if r.regimeTimer != nil {
+		r.regimeTimer.Stop()
+	}
+	r.regimeTimer = time.AfterFunc(r.regimeDelayLocked(), func() { r.onRegimeTimer(gen) })
+}
+
+// regimeDelayLocked computes the current leader-suspicion delay: 4x the
+// EWMA of observed decide latency, clamped to [base/16 (at least 20ms),
+// base] — so the timeout shrinks toward real latency without ever racing
+// honest-but-slow decides — then doubled per consecutive no-progress fire
+// (capped at 64x), so repeated failures trade detection latency for
+// stability. With FixedTimeout, or before any decide has been observed, the
+// delay is the full base. The caller holds r.mu.
+func (r *Replica) regimeDelayLocked() time.Duration {
+	base := r.cfg.BaseTimeout
+	if base <= 0 {
+		base = viewsync.DefaultBaseTimeout
+	}
+	d := base
+	if !r.cfg.FixedTimeout && r.ewmaDecide > 0 {
+		d = 4 * r.ewmaDecide
+		floor := base / 16
+		if floor < 20*time.Millisecond {
+			floor = 20 * time.Millisecond
+		}
+		if d < floor {
+			d = floor
+		}
+		if d > base {
+			d = base
+		}
+	}
+	shift := r.regimeBackoff
+	if shift > 6 {
+		shift = 6
+	}
+	return d << shift
+}
+
+// onRegimeTimer handles expiry of the regime timer. A stale generation
+// (the timer was re-armed or stopped while this fire was in flight) is a
+// no-op; a fire that finds the frontier moved re-arms and resets the
+// backoff; a fire that finds it stuck suspects the leader regime and ticks
+// every undecided in-flight slot into a view change in one step.
+func (r *Replica) onRegimeTimer(gen uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.closed {
+	if r.closed || gen != r.regimeGen {
 		return
 	}
-	sl, ok := r.slots[s]
-	if !ok {
+	r.regimeTimer = nil
+	if !r.workOutstandingLocked() {
+		r.regimeBackoff = 0
 		return
 	}
-	r.applyActions(s, sl, sl.proc.Tick(r.now()))
-	r.captureCertLocked(s, sl)
+	if r.next != r.regimeNext || r.applyPtr != r.regimeApply {
+		r.regimeBackoff = 0
+		r.armRegimeLocked()
+		return
+	}
+	r.statRegime++
+	r.regimeBackoff++
+	hi := r.regimeHorizonLocked()
+	for s := r.next; s < hi; s++ {
+		if _, dec := r.decided[s]; dec {
+			continue
+		}
+		sl, ok := r.slots[s]
+		if !ok {
+			// Commands are pending but the leader never opened the slot
+			// (it is partitioned, dead, or Byzantine-silent): open the
+			// instance ourselves so it can change view and the view-change
+			// leader can propose the stranded commands.
+			if sl = r.ensureSlotLocked(s); sl == nil {
+				continue
+			}
+		}
+		r.applyActions(s, sl, sl.proc.Tick(r.now()))
+		r.captureCertLocked(s, sl)
+	}
+	r.flushViewBufsLocked()
+	r.pokeRegimeLocked()
+}
+
+// regimeHorizonLocked returns the exclusive upper bound of slots a
+// no-progress fire pushes into a view change: every undecided in-flight
+// slot, plus enough fresh slots to carry the pending queue (a dead leader
+// never opened those), always at least one and never beyond the window. The
+// caller holds r.mu.
+func (r *Replica) regimeHorizonLocked() uint64 {
+	hi := r.next + 1
+	for s := range r.slots {
+		if s < r.next || s >= r.next+uint64(r.cfg.WindowSize) {
+			continue
+		}
+		if _, dec := r.decided[s]; dec {
+			continue
+		}
+		if s+1 > hi {
+			hi = s + 1
+		}
+	}
+	if n := r.pending.Len(); n > 0 {
+		need := r.next + uint64((n+r.cfg.MaxBatch-1)/r.cfg.MaxBatch)
+		if need > hi {
+			hi = need
+		}
+	}
+	if lim := r.next + uint64(r.cfg.WindowSize); hi > lim {
+		hi = lim
+	}
+	return hi
+}
+
+// flushViewBufsLocked ships the view-change traffic coalesced during one
+// locked entry: per view, the slot wishes collapse into WindowWish
+// broadcasts (one per contiguous slot run) and the per-slot votes into one
+// WindowVote to the view's leader. Wishes and votes carry replica state
+// that must not outrun the WAL (a vote in particular is a signed promise),
+// so both go through the durably gated send path, like their per-slot
+// counterparts. The caller holds r.mu.
+func (r *Replica) flushViewBufsLocked() {
+	// Flush order is ascending by view for determinism in lockstep tests.
+	if len(r.wishBuf) > 0 {
+		views := make([]types.View, 0, len(r.wishBuf))
+		for v := range r.wishBuf {
+			views = append(views, v)
+		}
+		sort.Slice(views, func(i, j int) bool { return views[i] < views[j] })
+		for _, v := range views {
+			slots := r.wishBuf[v]
+			delete(r.wishBuf, v)
+			sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+			for i := 0; i < len(slots); {
+				j := i + 1
+				for j < len(slots) && slots[j] <= slots[j-1]+1 && slots[j]-slots[i] < msg.MaxWindowSlots-1 {
+					j++
+				}
+				r.broadcastEnvLocked(envelope(viewSlot, &msg.WindowWish{View: v, Lo: slots[i], Hi: slots[j-1]}))
+				i = j
+			}
+		}
+	}
+	if len(r.voteBuf) > 0 {
+		views := make([]types.View, 0, len(r.voteBuf))
+		for v := range r.voteBuf {
+			views = append(views, v)
+		}
+		sort.Slice(views, func(i, j int) bool { return views[i] < views[j] })
+		for _, v := range views {
+			entries := r.voteBuf[v]
+			delete(r.voteBuf, v)
+			sort.Slice(entries, func(i, j int) bool { return entries[i].Slot < entries[j].Slot })
+			to := v.Leader(r.cfg.Cluster.N)
+			for i := 0; i < len(entries); i += msg.MaxWindowSlots {
+				j := i + msg.MaxWindowSlots
+				if j > len(entries) {
+					j = len(entries)
+				}
+				r.sendEnvLocked(to, envelope(viewSlot, &msg.WindowVote{View: v, Entries: entries[i:j]}))
+			}
+		}
+	}
 }
 
 // applyActions executes instance actions; the caller holds r.mu. With
@@ -650,17 +1045,25 @@ func (r *Replica) applyActions(s uint64, sl *slot, actions []core.Action) {
 	for _, a := range actions {
 		switch act := a.(type) {
 		case core.SendAction:
-			switch act.Msg.(type) {
+			switch t := act.Msg.(type) {
 			case *msg.CertRequest, *msg.CertAck:
 				// Stateless verification traffic (see sendOrderedLocked).
 				r.sendOrderedLocked(act.To, envelope(s, act.Msg))
+			case *msg.Vote:
+				// Coalesced: a windowed view change makes every in-flight
+				// slot vote at once, and the votes of one (view, leader)
+				// pair travel as a single WindowVote instead of one message
+				// per slot (see flushViewBufsLocked). The target is always
+				// Leader(view) — exactly where the flush sends the bundle.
+				r.voteBuf[t.View] = append(r.voteBuf[t.View],
+					msg.WindowVoteEntry{Slot: s, SV: t.SV.Clone()})
 			default:
-				// Votes and anything else that exposes replica state wait
-				// for durability.
+				// Anything else that exposes replica state waits for
+				// durability.
 				r.sendEnvLocked(act.To, envelope(s, act.Msg))
 			}
 		case core.BroadcastAction:
-			switch act.Msg.(type) {
+			switch t := act.Msg.(type) {
 			case *msg.Ack:
 				r.persistVoteLocked(s, sl)
 				r.broadcastEnvLocked(envelope(s, act.Msg))
@@ -671,27 +1074,28 @@ func (r *Replica) applyActions(s uint64, sl *slot, actions []core.Action) {
 				// (A Propose could in principle do the same — the protocol
 				// tolerates equivocating leaders — but letting the propose
 				// wave outrun the rest of the pipeline measurably widens
-				// the window in which followers speculatively open slots
-				// the leader never proposes, each of which costs a view
-				// change; proposals stay durably gated.)
+				// the window in which a slow replica opens slots on traffic
+				// it cannot yet act on; proposals stay durably gated.)
 				r.broadcastOrderedLocked(envelope(s, act.Msg))
+			case *msg.Wish:
+				// Coalesced like votes: the wishes of one view collapse
+				// into WindowWish range broadcasts at flush. The slot's own
+				// synchronizer already counted the wish locally, so
+				// buffering loses nothing on this replica.
+				r.wishBuf[t.View] = append(r.wishBuf[t.View], s)
 			default:
 				r.broadcastEnvLocked(envelope(s, act.Msg))
 			}
 		case core.TimerAction:
-			delay := time.Duration(act.Deadline) - time.Since(r.start)
-			if delay < 0 {
-				delay = 0
-			}
-			if sl.timer != nil {
-				sl.timer.Stop()
-			}
-			slotNum := s
-			sl.timer = time.AfterFunc(delay, func() { r.onTimer(slotNum) })
+			// Per-slot deadlines are superseded by the regime timer: one
+			// adaptive timer watches the whole window (see
+			// pokeRegimeLocked), and viewsync's OnTimeout is idempotent per
+			// view, so coarser-grained fires are safe.
 		case core.DecideAction:
 			r.onDecideLocked(s, act.Decision)
 		case core.EnterViewAction:
-			// Observability only.
+			// Observability only (the input graft runs through the
+			// instance's enter hook; see enterSlotViewLocked).
 		}
 	}
 }
@@ -709,6 +1113,16 @@ func (r *Replica) onDecideLocked(s uint64, d types.Decision) {
 	r.persistDecisionLocked(s, d)
 	if sl, ok := r.slots[s]; ok {
 		sl.ackLog = nil // the decision record supersedes the slot's vote records
+		if !sl.born.IsZero() {
+			// Feed the adaptive suspicion timeout: EWMA (alpha = 1/4) of
+			// instance-open-to-decide latency.
+			lat := time.Since(sl.born)
+			if r.ewmaDecide == 0 {
+				r.ewmaDecide = lat
+			} else {
+				r.ewmaDecide = (3*r.ewmaDecide + lat) / 4
+			}
+		}
 	}
 	delete(r.restoredVotes, s)
 	r.decided[s] = d
@@ -818,11 +1232,8 @@ func (r *Replica) advanceLocked() {
 	// Garbage-collect instances far behind the live window so stragglers
 	// can still catch up on recent slots.
 	const keepDecided = 4
-	for num, sl := range r.slots {
+	for num := range r.slots {
 		if num+keepDecided < r.next {
-			if sl.timer != nil {
-				sl.timer.Stop()
-			}
 			delete(r.slots, num)
 		}
 	}

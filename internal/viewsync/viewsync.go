@@ -37,7 +37,11 @@ type Output struct {
 	// Enter, when non-zero, is the view the process must enter now.
 	Enter types.View
 	// Deadline, when non-zero, is the new absolute deadline for the view
-	// timer (duration since the start of the execution).
+	// timer (duration since the start of the execution). A runtime with its
+	// own suspicion policy may ignore it: OnTimeout is idempotent per view —
+	// a re-fire before the wished view is entered only rebroadcasts the wish
+	// — so driving many synchronizers from one coarser timer (as the SMR
+	// layer does with its per-leader-regime timer) is safe.
 	Deadline time.Duration
 }
 

@@ -123,7 +123,10 @@ type KVReplicaConfig struct {
 	// deadlines and frame-size limits. Dial it with NewKVNetworkClient.
 	// Empty keeps the replica reachable by in-process handles only.
 	ClientListenAddr string
-	// BaseTimeout is the per-slot view-1 timer (500ms if zero).
+	// BaseTimeout caps the leader-suspicion (regime) timer and seeds it
+	// before any decide latency has been observed (500ms if zero). With
+	// adaptive timeouts enabled (the default) the effective timer shrinks
+	// toward a small multiple of the observed decide latency.
 	BaseTimeout time.Duration
 	// WindowSize bounds how many log slots may run consensus concurrently
 	// (default 8). The replica pipelines replication across the window —
@@ -134,6 +137,11 @@ type KVReplicaConfig struct {
 	// MaxBatch is the maximum number of pending commands packed into one
 	// slot proposal (default 1, i.e. no batching).
 	MaxBatch int
+	// FixedTimeout disables the adaptive leader-suspicion timer: the regime
+	// timer always waits the full BaseTimeout instead of tracking the
+	// observed decide latency. Useful as a benchmark baseline and for
+	// deployments that want a hard, predictable failover bound.
+	FixedTimeout bool
 	// OnCommit, if set, observes every decided log slot, in slot order.
 	OnCommit func(slot uint64, cmd []byte)
 	// CheckpointInterval, when positive, enables checkpointing: every
@@ -225,6 +233,7 @@ func NewKVReplica(cfg KVReplicaConfig) (*KVReplica, error) {
 		App:                store,
 		OnCommit:           onCommit,
 		BaseTimeout:        cfg.BaseTimeout,
+		FixedTimeout:       cfg.FixedTimeout,
 		WindowSize:         cfg.WindowSize,
 		MaxBatch:           cfg.MaxBatch,
 		CheckpointInterval: cfg.CheckpointInterval,

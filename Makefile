@@ -7,7 +7,7 @@ GO ?= go
 # committed at the repo root (and CI uploads the regenerated one as a
 # workflow artifact), so the perf trajectory is recorded run over run.
 # FUZZTIME is the per-target budget of the fuzz target.
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
 FUZZTIME ?= 30s
 
 .PHONY: all build test race bench bench-json fuzz smoke leaderkill fmt fmt-check vet doc-check byz recovery-race clean
@@ -32,15 +32,17 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 ## bench-json: run every benchmark once with -benchmem (including the SMR
-## throughput benchmark), then re-run the durable-throughput sweep with a
-## real iteration count (a single iteration is far too noisy to read a
-## sync-mode ratio from), and convert the combined output to a JSON report
-## via cmd/benchjson, so the perf trajectory is recorded run over run
-## (two steps, not a pipe: a pipe would report the converter's exit status
-## and let a failing benchmark run slip through CI green)
+## throughput benchmark), then re-run the durable-throughput sweep and the
+## sharded-throughput sweep with real iteration counts (a single iteration
+## is far too noisy to read a sync-mode or shard-scaling ratio from), and
+## convert the combined output to a JSON report via cmd/benchjson, so the
+## perf trajectory is recorded run over run (separate steps, not a pipe: a
+## pipe would report the converter's exit status and let a failing
+## benchmark run slip through CI green)
 bench-json:
-	$(GO) test -run '^$$' -bench . -skip '^BenchmarkSMRDurableThroughput$$' -benchtime 1x -benchmem ./... > $(BENCH_JSON).txt
+	$(GO) test -run '^$$' -bench . -skip '^BenchmarkSMRDurableThroughput$$|^BenchmarkSMRShardedThroughput$$' -benchtime 1x -benchmem ./... > $(BENCH_JSON).txt
 	$(GO) test -run '^$$' -bench '^BenchmarkSMRDurableThroughput$$' -benchtime 30x . >> $(BENCH_JSON).txt
+	$(GO) test -run '^$$' -bench '^BenchmarkSMRShardedThroughput$$' -benchtime 20x . >> $(BENCH_JSON).txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < $(BENCH_JSON).txt
 	rm -f $(BENCH_JSON).txt
 
@@ -58,9 +60,13 @@ fuzz:
 ## kill -9'd mid-workload, restarted from its data dir, and a different
 ## replica is killed after it — so finishing proves the recovered replica
 ## rejoined consensus; the command's own -timeout watchdog kills the
-## children if anything hangs
+## children if anything hangs. The second run repeats the same drill with
+## every process hosting two consensus groups over one transport and one
+## data dir (the second victim leads one of the groups, so that group's
+## writes ride the windowed view change), driven by the shard-aware client
 smoke:
 	$(GO) run ./cmd/fastbft-cluster -f 1 -t 1 -procs -ops 40 -timeout 120s
+	$(GO) run ./cmd/fastbft-cluster -f 1 -t 1 -procs -shards 2 -ops 40 -timeout 120s
 
 ## leaderkill: boot the same multi-process cluster and kill -9 the view-1
 ## leader process mid-workload, never restarting it — the rest of the
@@ -107,7 +113,9 @@ recovery-race:
 	$(GO) test -race -run 'TestKVReplicaDurableRestart' .
 
 ## clean: drop build and test caches scoped to this module, plus any
-## leftover replica data directories from local runs
+## leftover replica data directories from local runs (in a sharded run the
+## per-group WALs and snapshots live as g<k>- namespaced files inside these
+## same per-replica directories, so the patterns cover them too)
 clean:
 	$(GO) clean ./...
 	rm -rf fastbft-cluster-data-* /tmp/fastbft-cluster-data-* 2>/dev/null || true

@@ -19,6 +19,11 @@
 //	fastbft-cluster -f 1 -t 1 -procs -leaderkill
 //	                                     # kill -9 the view-1 leader process
 //	                                     # mid-workload and bound the recovery
+//	fastbft-cluster -f 1 -t 1 -procs -shards 2
+//	                                     # every replica process hosts two
+//	                                     # consensus groups over one transport
+//	                                     # and one data dir; the client routes
+//	                                     # each key to its group's leader
 //
 // With -procs, the KV phase spawns one child process per replica (this same
 // binary, re-executed in replica mode). Each child binds a replica-to-replica
@@ -96,8 +101,18 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "deterministic key seed shared with the replica processes (-procs)")
 	byzName := fs.String("byz", "", "corrupt one replica process with the named adversary (requires -procs); see docs/THREAT_MODEL.md. Known: garbage, equivocate")
 	leaderKill := fs.Bool("leaderkill", false, "kill -9 the view-1 leader process mid-workload and bound the recovery (requires -procs)")
+	shards := fs.Int("shards", 1, "consensus groups per replica process; keys are hash-partitioned and group leaders spread across processes")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d: need at least one consensus group", *shards)
+	}
+	if *shards > 1 && (*byzName != "" || *leaderKill) {
+		// The adversary driver and the leader-kill recovery bound both
+		// reason about the single view-1 leader; a sharded deployment has
+		// one leader per group.
+		return fmt.Errorf("-shards > 1 cannot combine with -byz or -leaderkill")
 	}
 	if *byzName != "" {
 		if !*procs {
@@ -122,13 +137,13 @@ func run(args []string) error {
 		// (its process slot would have to play honest); go straight to the
 		// adversarial multi-process phase.
 		fmt.Printf("byzantine: replica process %d runs the %q adversary\n", byzProcID, *byzName)
-		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, *byzName, false)
+		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, *byzName, false, 1)
 	}
 	if *leaderKill {
 		// The drill's whole point is losing the leader; skip the warm-up
 		// consensus round so the workload starts against a full cluster.
 		fmt.Printf("leaderkill: replica process %d (the view-1 leader) will be kill -9'd mid-workload\n", byzProcID)
-		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, "", true)
+		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, "", true, 1)
 	}
 
 	// Phase 1: single-shot consensus over TCP.
@@ -184,14 +199,14 @@ func run(args []string) error {
 	}
 
 	if *procs {
-		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, "", false)
+		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, "", false, *shards)
 	}
-	return runSingleProcess(cfg, *ops)
+	return runSingleProcess(cfg, *ops, *shards)
 }
 
 // runSingleProcess is the original KV phase: every replica in this process,
 // driven through an in-process handle.
-func runSingleProcess(cfg fastbft.Config, ops int) error {
+func runSingleProcess(cfg fastbft.Config, ops, shards int) error {
 	keys, err := fastbft.GenerateKeys(cfg.N)
 	if err != nil {
 		return err
@@ -204,6 +219,7 @@ func runSingleProcess(cfg fastbft.Config, ops int) error {
 			Self:       fastbft.ProcessID(i),
 			Keys:       keys,
 			ListenAddr: "127.0.0.1:0",
+			Shards:     shards,
 		})
 		if err != nil {
 			return err
@@ -310,7 +326,7 @@ const leaderKillRecoveryBound = 15 * time.Second
 // (byzProcID — the leader of view 1 of every slot) a third of the way in,
 // never restarts it, times how long the next write takes to confirm, and
 // fails if recovery exceeds leaderKillRecoveryBound.
-func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time.Duration, byzName string, leaderKill bool) error {
+func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time.Duration, byzName string, leaderKill bool, shards int) error {
 	exe, err := os.Executable()
 	if err != nil {
 		return err
@@ -353,6 +369,7 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 			"-addr", addr,
 			"-clientaddr", clientAddr,
 			"-datadir", filepath.Join(dataRoot, fmt.Sprintf("replica-%d", i)),
+			"-shards", strconv.Itoa(shards),
 		}
 		if byzName != "" {
 			if i == byzProcID {
@@ -434,20 +451,23 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 			return err
 		}
 	}
-	fmt.Printf("spawned %d replica processes (data dirs under %s), client listeners at %s\n",
-		cfg.N, dataRoot, strings.Join(clientAddrs, " "))
+	fmt.Printf("spawned %d replica processes x %d consensus groups (data dirs under %s), client listeners at %s\n",
+		cfg.N, shards, dataRoot, strings.Join(clientAddrs, " "))
 
 	// The parent is now nothing but a client: it holds no replica handles,
 	// only the address book and the cluster's public identities.
 	keys := fastbft.GenerateTestKeys(cfg.N, seed)
-	cl, err := fastbft.NewKVNetworkClient("cluster-client", 500*time.Millisecond, cfg, keys, clientAddrs)
+	cl, err := fastbft.NewShardedKVNetworkClient("cluster-client", 500*time.Millisecond, cfg, keys, clientAddrs, shards)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = cl.Close() }()
 
-	// Both drill victims are non-leaders (view-1 leads every slot's fast
-	// path, and t=1 keeps the fast path available with one fault).
+	// Both drill victims avoid process byzProcID, the view-1 leader of an
+	// unsharded run (t=1 keeps the fast path available with one fault). In a
+	// sharded run group leaders spread across processes, so a victim may
+	// lead one of the groups — that group's writes then ride the windowed
+	// view change, which only sharpens the drill.
 	crash1 := cfg.N - 1
 	crash2 := cfg.N - 2
 	killAt := ops / 3
@@ -645,6 +665,7 @@ func replicaMain(args []string) error {
 	syncMode := fs.String("sync", "group", "WAL fsync policy: none, group, or always")
 	baseTimeout := fs.Duration("basetimeout", 0, "per-slot view-1 timer (0 = the replica default)")
 	byzName := fs.String("byz", "", "run the named adversary instead of an honest replica")
+	shards := fs.Int("shards", 1, "consensus groups hosted by this process")
 	stats := fs.Bool("stats", false, "report a STATS line on shutdown")
 	byzSlots := fs.Int("byzslots", 0, "expected malformed-batch count to settle before the STATS line (implies -stats)")
 	if err := fs.Parse(args); err != nil {
@@ -665,6 +686,7 @@ func replicaMain(args []string) error {
 		DataDir:            *dataDir,
 		SyncMode:           *syncMode,
 		BaseTimeout:        *baseTimeout,
+		Shards:             *shards,
 	})
 	if err != nil {
 		return err

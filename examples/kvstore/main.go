@@ -13,6 +13,10 @@
 //	                                      # and snapshots under its own
 //	                                      # subdirectory and recovers its
 //	                                      # state from it across restarts
+//	go run ./examples/kvstore -shards 2   # every replica hosts two consensus
+//	                                      # groups; keys are hash-partitioned
+//	                                      # and the client routes each write
+//	                                      # to its key's group
 //
 // In -network mode every replica additionally binds a client-facing TCP
 // listener, and the client session reaches the cluster the way a real
@@ -35,13 +39,14 @@ import (
 func main() {
 	network := flag.Bool("network", false, "serve the client over TCP client listeners instead of in-process handles")
 	dataDir := flag.String("datadir", "", "base directory for durable replica state (empty = in-memory)")
+	shards := flag.Int("shards", 1, "consensus groups per replica; keys are hash-partitioned across them")
 	flag.Parse()
-	if err := run(*network, *dataDir); err != nil {
+	if err := run(*network, *dataDir, *shards); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(network bool, dataDir string) error {
+func run(network bool, dataDir string, shards int) error {
 	cfg := fastbft.GeneralizedConfig(2, 1) // n = 7
 	mode := "in-process client handles"
 	if network {
@@ -49,6 +54,9 @@ func run(network bool, dataDir string) error {
 	}
 	if dataDir != "" {
 		mode += ", durable data dirs under " + dataDir
+	}
+	if shards > 1 {
+		mode += fmt.Sprintf(", %d consensus groups per replica", shards)
 	}
 	fmt.Printf("starting %s replicated KV store over TCP (%s)\n", cfg, mode)
 
@@ -75,6 +83,7 @@ func run(network bool, dataDir string) error {
 			Self:       fastbft.ProcessID(i),
 			Keys:       keys,
 			ListenAddr: "127.0.0.1:0",
+			Shards:     shards,
 		}
 		if network {
 			rcfg.ClientListenAddr = "127.0.0.1:0"
@@ -119,7 +128,7 @@ func run(network bool, dataDir string) error {
 	clientID := fmt.Sprintf("demo-client-%d", os.Getpid())
 	var cl *fastbft.KVClient
 	if network {
-		cl, err = fastbft.NewKVNetworkClient(clientID, 0, cfg, keys, clientAddrs)
+		cl, err = fastbft.NewShardedKVNetworkClient(clientID, 0, cfg, keys, clientAddrs, shards)
 	} else {
 		cl, err = fastbft.NewKVClient(clientID, 0, reps...)
 	}

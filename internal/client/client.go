@@ -71,6 +71,14 @@ type Config struct {
 	// safety; after a timeout the session redirects to a replica that
 	// demonstrably answers.
 	Entry types.ProcessID
+	// Group is the consensus group this session speaks to in a sharded
+	// deployment: requests are stamped with it, and replies for any other
+	// group are rejected — the per-group sessions of one physical client
+	// share sequence-number spaces, so without the filter a reply from
+	// another group's session could settle this one's request. Zero (the
+	// only group of an unsharded deployment) keeps requests byte-identical
+	// to the pre-sharding format.
+	Group uint64
 }
 
 // Client is one external client session.
@@ -166,7 +174,7 @@ func (c *Client) Execute(op []byte) ([]byte, error) {
 		c.mu.Unlock()
 	}()
 
-	req := &msg.Request{Client: c.cfg.ID, Seq: seq, Op: op}
+	req := &msg.Request{Client: c.cfg.ID, Seq: seq, Op: op, Group: c.cfg.Group}
 	// Submit to the whole cluster, entry replica first: replicas only reply
 	// to clients that contacted them directly, and the f+1 matching-reply
 	// rule needs answers from at least f+1 distinct replicas — an
@@ -219,6 +227,9 @@ func (c *Client) submit(entry types.ProcessID, req *msg.Request) {
 func (c *Client) onReply(from types.ProcessID, rep *msg.Reply) {
 	if rep == nil || rep.Client != c.cfg.ID || !from.Valid(c.cfg.Cluster.N) {
 		return
+	}
+	if rep.Group != c.cfg.Group {
+		return // another group's session; see Config.Group
 	}
 	if rep.Replica != from {
 		return // a replica may only speak for itself

@@ -51,7 +51,7 @@ func (l *Local) Send(to types.ProcessID, req *msg.Request) error {
 	rep := l.reps[to]
 	l.mu.Unlock()
 	// Clone: the replica retains the request beyond this call.
-	clone := &msg.Request{Client: req.Client, Seq: req.Seq, Op: append([]byte(nil), req.Op...)}
+	clone := &msg.Request{Client: req.Client, Seq: req.Seq, Op: append([]byte(nil), req.Op...), Group: req.Group}
 	return rep.HandleRequest(clone, func(rp *msg.Reply) {
 		l.mu.Lock()
 		h, closed := l.h, l.closed

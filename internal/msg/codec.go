@@ -73,12 +73,20 @@ func Encode(m Message) []byte {
 		w.BytesField([]byte(t.Client))
 		w.Uvarint(t.Seq)
 		w.BytesField(t.Op)
+		// Trailing optional: present exactly when nonzero, so group-0
+		// encodings are byte-identical to the pre-sharding wire format.
+		if t.Group != 0 {
+			w.Uvarint(t.Group)
+		}
 	case *Reply:
 		w.BytesField([]byte(t.Client))
 		w.Uvarint(t.Seq)
 		w.Uvarint(t.Slot)
 		w.Int32(int32(t.Replica))
 		w.BytesField(t.Result)
+		if t.Group != 0 {
+			w.Uvarint(t.Group)
+		}
 	case *SnapshotChunk:
 		t.Cert.encode(w)
 		w.Uvarint(t.Total)
@@ -211,6 +219,7 @@ func Decode(buf []byte) (Message, error) {
 		t.Client = decodeClientID(r)
 		t.Seq = r.Uvarint()
 		t.Op = r.BytesField()
+		t.Group = decodeGroup(r)
 		m = t
 	case KindReply:
 		t := &Reply{}
@@ -219,6 +228,7 @@ func Decode(buf []byte) (Message, error) {
 		t.Slot = r.Uvarint()
 		t.Replica = types.ProcessID(r.Int32())
 		t.Result = r.BytesField()
+		t.Group = decodeGroup(r)
 		m = t
 	case KindSnapshotChunk:
 		t := &SnapshotChunk{}
@@ -266,6 +276,23 @@ func Decode(buf []byte) (Message, error) {
 		return nil, fmt.Errorf("decode %s: %w", kind, err)
 	}
 	return m, nil
+}
+
+// decodeGroup reads the trailing optional consensus-group field of Request
+// and Reply. The field is present exactly when nonzero: an absent field
+// decodes to group 0, and an explicit zero is rejected so that every group
+// keeps a unique canonical encoding (two byte strings never decode to one
+// message).
+func decodeGroup(r *wire.Reader) uint64 {
+	if r.Err() != nil || r.Remaining() == 0 {
+		return 0
+	}
+	g := r.Uvarint()
+	if g == 0 {
+		r.Fail(wire.ErrOverflow)
+		return 0
+	}
+	return g
 }
 
 // decodeClientID reads a client identifier, enforcing MaxClientID (the

@@ -20,10 +20,18 @@ const MaxClientID = 128
 // (starting at 1), and the opaque operation bytes the application executes.
 // The canonical encoding of a Request is also the SMR command format —
 // requests flow through consensus batches byte-for-byte.
+//
+// Group addresses the consensus group of a sharded deployment (one process
+// hosting several independent groups; see internal/group). It is encoded as
+// a trailing optional field, present exactly when nonzero, so the encoding
+// of a group-0 request — and with it every command digest, WAL record, and
+// session-table entry of an unsharded deployment — is byte-for-byte what it
+// was before groups existed.
 type Request struct {
 	Client types.ClientID
 	Seq    uint64
 	Op     []byte
+	Group  uint64
 }
 
 // Kind implements Message.
@@ -36,12 +44,20 @@ func (m *Request) InView() types.View { return types.NoView }
 // executed in, the responding replica, and the application's result bytes.
 // Replicas cache the last reply per client and answer retransmissions from
 // the cache without re-executing.
+//
+// Group echoes the consensus group that executed the request (trailing
+// optional, like Request.Group). In a sharded deployment the per-group
+// client sessions of one physical client share sequence-number spaces, so
+// the group echo is what lets a client demultiplex replies arriving on a
+// shared connection — and reject a reply that bled over from another
+// group's session.
 type Reply struct {
 	Client  types.ClientID
 	Seq     uint64
 	Slot    uint64
 	Replica types.ProcessID
 	Result  []byte
+	Group   uint64
 }
 
 // Kind implements Message.

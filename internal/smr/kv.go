@@ -2,6 +2,7 @@ package smr
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -53,6 +54,20 @@ func DecodeKV(cmd Command) (KVCommand, error) {
 		return KVCommand{}, fmt.Errorf("kv decode: unknown op %d", c.Op)
 	}
 	return c, nil
+}
+
+// ShardOf returns the consensus group a key belongs to when the keyspace is
+// hash-partitioned across shards groups. Every router — replica-side Get
+// dispatch, shard-aware clients — must use this one function, or a key's
+// reads and writes could land in different groups. shards <= 1 always
+// returns 0.
+func ShardOf(key string, shards int) uint64 {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum64() % uint64(shards)
 }
 
 // KVStore is a replicated key-value map: the App of the kvstore example and

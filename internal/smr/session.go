@@ -56,6 +56,7 @@ var (
 	errEmptyClient   = errors.New("smr: empty client id")
 	errClientTooLong = fmt.Errorf("smr: client id exceeds %d bytes", msg.MaxClientID)
 	errZeroSeq       = errors.New("smr: request sequence numbers start at 1")
+	errWrongGroup    = errors.New("smr: request addressed to another consensus group")
 )
 
 // encodeRequest renders a client request as SMR command bytes: the canonical
@@ -116,6 +117,13 @@ func (r *Replica) HandleRequest(req *msg.Request, reply ReplyFunc) error {
 	if req.Seq == 0 {
 		return errZeroSeq
 	}
+	if req.Group != r.cfg.Group {
+		// A misrouted request must not enter this group's log: the same
+		// (client, seq) pair may legitimately be in flight in its own
+		// group, and executing it here would both corrupt this group's
+		// session table and break exactly-once across the deployment.
+		return errWrongGroup
+	}
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -161,6 +169,7 @@ func (r *Replica) cachedReplyLocked(c types.ClientID, sess *session) *msg.Reply 
 		Slot:    sess.lastSlot,
 		Replica: r.cfg.Self,
 		Result:  append([]byte(nil), sess.lastReply...),
+		Group:   r.cfg.Group,
 	}
 }
 

@@ -138,6 +138,13 @@ type Config struct {
 	// The replica takes ownership of the store and closes it on Close.
 	// Pair it with CheckpointInterval > 0, or the WAL grows without bound.
 	Storage *storage.Store
+	// Group is this replica's consensus-group number in a sharded
+	// deployment (see internal/group). Requests addressed to another group
+	// are rejected by HandleRequest, and replies echo the group so a
+	// shard-aware client can demultiplex them. Zero — the only value in an
+	// unsharded deployment — keeps requests and replies byte-identical to
+	// the pre-sharding wire format.
+	Group uint64
 }
 
 // Stats is a point-in-time snapshot of replica counters (see
@@ -413,6 +420,7 @@ func (r *Replica) Submit(cmd Command) error {
 		Client: syntheticClient(cmd),
 		Seq:    1,
 		Op:     []byte(cmd),
+		Group:  r.cfg.Group,
 	}, nil)
 }
 

@@ -30,17 +30,21 @@ import (
 // snapMagic guards against reading an unrelated file as a snapshot.
 var snapMagic = []byte("FBS1")
 
-// snapName returns the file name of the snapshot at slot s.
+// snapName returns the file name of the snapshot at slot s, without the
+// store's namespace prefix (callers prepend it).
 func snapName(s uint64) string {
 	return fmt.Sprintf("snap-%016d.snap", s)
 }
 
-// parseSnapName extracts the slot from a snapshot file name.
-func parseSnapName(name string) (uint64, bool) {
-	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+// parseSnapName extracts the slot from a snapshot file name in namespace ns.
+// A file from another namespace never parses: a namespaced name like
+// "g1-snap-…" does not start with the empty namespace's "snap-" prefix, and
+// vice versa, so stores sharing a directory only ever see their own files.
+func parseSnapName(ns, name string) (uint64, bool) {
+	if !strings.HasPrefix(name, ns+"snap-") || !strings.HasSuffix(name, ".snap") {
 		return 0, false
 	}
-	s, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 10, 64)
+	s, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, ns+"snap-"), ".snap"), 10, 64)
 	if err != nil {
 		return 0, false
 	}
@@ -98,8 +102,8 @@ func decodeSnapshotFile(buf []byte) (*msg.CheckpointCert, []byte, error) {
 
 // writeSnapshotFile durably installs the snapshot at its final name:
 // temporary file, fsync, rename, directory fsync.
-func writeSnapshotFile(dir string, cert *msg.CheckpointCert, snapshot []byte) error {
-	final := filepath.Join(dir, snapName(cert.CP.Slot))
+func writeSnapshotFile(dir, ns string, cert *msg.CheckpointCert, snapshot []byte) error {
+	final := filepath.Join(dir, ns+snapName(cert.CP.Slot))
 	tmp := final + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -122,11 +126,12 @@ func writeSnapshotFile(dir string, cert *msg.CheckpointCert, snapshot []byte) er
 	return syncDir(dir)
 }
 
-// loadNewestSnapshot finds the newest snapshot file that parses and
-// CRC-verifies, removing any leftover temporaries. Corrupt snapshots are
-// skipped (an older intact one still recovers the replica); absence of any
-// snapshot returns (nil, nil, nil).
-func loadNewestSnapshot(dir string) (*msg.CheckpointCert, []byte, error) {
+// loadNewestSnapshot finds the newest snapshot file of namespace ns that
+// parses and CRC-verifies, removing any of ns's leftover temporaries (only
+// its own — another group's store may be mid-checkpoint in the same
+// directory). Corrupt snapshots are skipped (an older intact one still
+// recovers the replica); absence of any snapshot returns (nil, nil, nil).
+func loadNewestSnapshot(dir, ns string) (*msg.CheckpointCert, []byte, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
@@ -134,16 +139,18 @@ func loadNewestSnapshot(dir string) (*msg.CheckpointCert, []byte, error) {
 	var slots []uint64
 	for _, e := range entries {
 		if strings.HasSuffix(e.Name(), ".tmp") {
-			_ = os.Remove(filepath.Join(dir, e.Name()))
+			if strings.HasPrefix(e.Name(), ns+"snap-") || e.Name() == ns+walName+".tmp" {
+				_ = os.Remove(filepath.Join(dir, e.Name()))
+			}
 			continue
 		}
-		if s, ok := parseSnapName(e.Name()); ok {
+		if s, ok := parseSnapName(ns, e.Name()); ok {
 			slots = append(slots, s)
 		}
 	}
 	sort.Slice(slots, func(i, j int) bool { return slots[i] > slots[j] })
 	for _, s := range slots {
-		buf, err := os.ReadFile(filepath.Join(dir, snapName(s)))
+		buf, err := os.ReadFile(filepath.Join(dir, ns+snapName(s)))
 		if err != nil {
 			continue
 		}
@@ -156,14 +163,15 @@ func loadNewestSnapshot(dir string) (*msg.CheckpointCert, []byte, error) {
 	return nil, nil, nil
 }
 
-// pruneSnapshots removes every snapshot file below the keep slot.
-func pruneSnapshots(dir string, keep uint64) {
+// pruneSnapshots removes every snapshot file of namespace ns below the keep
+// slot.
+func pruneSnapshots(dir, ns string, keep uint64) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	for _, e := range entries {
-		if s, ok := parseSnapName(e.Name()); ok && s < keep {
+		if s, ok := parseSnapName(ns, e.Name()); ok && s < keep {
 			_ = os.Remove(filepath.Join(dir, e.Name()))
 		}
 	}

@@ -58,16 +58,23 @@ func ParseSyncMode(s string) (SyncMode, error) {
 	}
 }
 
-// walName is the write-ahead log file inside a data directory.
+// walName is the write-ahead log file inside a data directory (prefixed by
+// the store's namespace, if any).
 const walName = "wal.log"
 
 // Config parameterizes a Store.
 type Config struct {
 	// Dir is the replica's data directory (created if missing). One
-	// directory belongs to exactly one replica.
+	// directory belongs to exactly one replica process.
 	Dir string
 	// Mode is the fsync policy (default SyncGroup).
 	Mode SyncMode
+	// Namespace prefixes every file the store touches (WAL, snapshots,
+	// temporaries), so several stores — one per consensus group of a
+	// sharded replica — share one directory without colliding. Stores with
+	// distinct namespaces never read or delete each other's files. Empty
+	// means the unprefixed pre-sharding layout.
+	Namespace string
 }
 
 // VoteState is the recovered vote state of one log slot: every adopted-vote
@@ -141,6 +148,7 @@ type checkpointOp struct {
 // order.
 type Store struct {
 	dir  string
+	ns   string
 	mode SyncMode
 	rec  *RecoveredState
 
@@ -191,6 +199,7 @@ func Open(cfg Config) (*Store, error) {
 	}
 	s := &Store{
 		dir:        cfg.Dir,
+		ns:         cfg.Namespace,
 		mode:       cfg.Mode,
 		done:       make(chan struct{}),
 		syncCh:     make(chan syncReq, 1024),
@@ -208,7 +217,7 @@ func Open(cfg Config) (*Store, error) {
 // recover loads the snapshot and WAL into s.rec and opens the WAL for
 // appending, truncated to its last valid record.
 func (s *Store) recover() error {
-	cert, snap, err := loadNewestSnapshot(s.dir)
+	cert, snap, err := loadNewestSnapshot(s.dir, s.ns)
 	if err != nil {
 		return err
 	}
@@ -225,7 +234,7 @@ func (s *Store) recover() error {
 		rec.SnapshotCert = cert
 		horizon = cert.CP.Slot + 1
 	}
-	walPath := filepath.Join(s.dir, walName)
+	walPath := filepath.Join(s.dir, s.ns+walName)
 	buf, err := os.ReadFile(walPath)
 	if err != nil && !os.IsNotExist(err) {
 		return err
@@ -285,6 +294,9 @@ func (s *Store) Recovered() *RecoveredState { return s.rec }
 
 // Dir returns the data directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Namespace returns the file-name prefix this store owns within Dir.
+func (s *Store) Namespace() string { return s.ns }
 
 // Mode returns the fsync policy.
 func (s *Store) Mode() SyncMode { return s.mode }
@@ -775,13 +787,13 @@ func (s *Store) doCheckpoint(op *checkpointOp) {
 	if s.failed() || s.wal == nil {
 		return
 	}
-	if err := writeSnapshotFile(s.dir, op.cert, op.snap); err != nil {
+	if err := writeSnapshotFile(s.dir, s.ns, op.cert, op.snap); err != nil {
 		s.fail(fmt.Errorf("storage: snapshot: %w", err))
 		return
 	}
 	// Rewrite the WAL with the surviving records: temp file, fsync,
 	// rename over, directory fsync, then append to the new file.
-	walPath := filepath.Join(s.dir, walName)
+	walPath := filepath.Join(s.dir, s.ns+walName)
 	tmp := walPath + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -825,7 +837,7 @@ func (s *Store) doCheckpoint(op *checkpointOp) {
 	s.wal = wal
 	s.syncedSeq = s.writeSeq // the rewrite fsync'd everything still live
 	s.mu.Unlock()
-	pruneSnapshots(s.dir, op.cert.CP.Slot)
+	pruneSnapshots(s.dir, s.ns, op.cert.CP.Slot)
 }
 
 // failed reports whether the store must stop doing work: a sticky disk

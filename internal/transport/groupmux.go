@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// GroupMux multiplexes several independent consensus groups over one
+// underlying Transport: each group sees its own Transport view, and every
+// payload crosses the wire prefixed with its group number (one uvarint), so
+// a process can host N groups over a single set of authenticated channels
+// instead of N listeners and N×n connections.
+//
+// Start and Close are reference-counted against the views. The inner
+// transport starts only when every view has started — by which point every
+// view's handler is installed, so the first delivered payload always finds
+// its group's handler (the channels are reliable; dropping early traffic
+// would silently break that promise). Symmetrically, the inner transport
+// closes when the last view closes.
+type GroupMux struct {
+	inner  Transport
+	groups int
+
+	mu      sync.Mutex
+	views   []*groupView
+	started int
+	closed  bool
+}
+
+// NewGroupMux wraps inner into groups independent transport views. The
+// caller must not use inner directly once the mux owns it.
+func NewGroupMux(inner Transport, groups int) *GroupMux {
+	m := &GroupMux{inner: inner, groups: groups, views: make([]*groupView, groups)}
+	for g := 0; g < groups; g++ {
+		m.views[g] = &groupView{mux: m, group: uint64(g), tag: groupTag(uint64(g))}
+	}
+	return m
+}
+
+// View returns group g's Transport view. Views are singletons: the same
+// group always yields the same view.
+func (m *GroupMux) View(g int) Transport { return m.views[g] }
+
+// groupTag renders the envelope prefix of group g.
+func groupTag(g uint64) []byte {
+	var buf [10]byte
+	n := 0
+	for g >= 0x80 {
+		buf[n] = byte(g) | 0x80
+		g >>= 7
+		n++
+	}
+	buf[n] = byte(g)
+	return buf[:n+1]
+}
+
+// dispatch decodes the group prefix and routes the payload to the group's
+// handler. Malformed or out-of-range prefixes are dropped — the inner
+// transport authenticated the sender, so this only happens with a Byzantine
+// peer, and dropping is the cheapest response.
+func (m *GroupMux) dispatch(from types.ProcessID, payload []byte) {
+	g, n := uvarint(payload)
+	if n <= 0 || g >= uint64(m.groups) {
+		return
+	}
+	m.mu.Lock()
+	v := m.views[g]
+	h := v.handler
+	m.mu.Unlock()
+	if h != nil {
+		h(from, payload[n:])
+	}
+}
+
+// uvarint decodes an unsigned varint prefix, returning (value, bytes read);
+// n <= 0 means malformed (local copy of encoding/binary.Uvarint semantics,
+// bounded to 10 bytes).
+func uvarint(buf []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, b := range buf {
+		if i == 10 {
+			return 0, -1
+		}
+		if b < 0x80 {
+			if i == 9 && b > 1 {
+				return 0, -1
+			}
+			return x | uint64(b)<<s, i + 1
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}
+
+// viewStarted records one view's Start; the last one installs the dispatch
+// handler and starts the inner transport.
+func (m *GroupMux) viewStarted() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	m.started++
+	ready := m.started == m.groups
+	m.mu.Unlock()
+	if !ready {
+		return nil
+	}
+	m.inner.SetHandler(m.dispatch)
+	return m.inner.Start()
+}
+
+// viewClosed records one view's Close; the last one closes the inner
+// transport.
+func (m *GroupMux) viewClosed() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	for _, v := range m.views {
+		if !v.closed {
+			m.mu.Unlock()
+			return nil
+		}
+	}
+	m.closed = true
+	m.mu.Unlock()
+	return m.inner.Close()
+}
+
+// groupView is one group's endpoint over the shared mux.
+type groupView struct {
+	mux   *GroupMux
+	group uint64
+	tag   []byte
+
+	// handler/started/closed are guarded by mux.mu: the mux reads the
+	// handler on every dispatch, and Start/Close bookkeeping spans views.
+	handler Handler
+	started bool
+	closed  bool
+}
+
+var _ Transport = (*groupView)(nil)
+
+// Self implements Transport.
+func (v *groupView) Self() types.ProcessID { return v.mux.inner.Self() }
+
+// Send implements Transport, prefixing the payload with the group tag.
+func (v *groupView) Send(to types.ProcessID, payload []byte) error {
+	if len(payload)+len(v.tag) > MaxFrame {
+		return fmt.Errorf("groupmux: payload %d bytes exceeds limit", len(payload))
+	}
+	return v.mux.inner.Send(to, append(append(make([]byte, 0, len(v.tag)+len(payload)), v.tag...), payload...))
+}
+
+// Broadcast implements Transport.
+func (v *groupView) Broadcast(payload []byte) error {
+	if len(payload)+len(v.tag) > MaxFrame {
+		return fmt.Errorf("groupmux: payload %d bytes exceeds limit", len(payload))
+	}
+	return v.mux.inner.Broadcast(append(append(make([]byte, 0, len(v.tag)+len(payload)), v.tag...), payload...))
+}
+
+// SetHandler implements Transport.
+func (v *groupView) SetHandler(h Handler) {
+	v.mux.mu.Lock()
+	defer v.mux.mu.Unlock()
+	v.handler = h
+}
+
+// Start implements Transport. The inner transport starts once every view
+// has started (see GroupMux).
+func (v *groupView) Start() error {
+	v.mux.mu.Lock()
+	if v.closed {
+		v.mux.mu.Unlock()
+		return ErrClosed
+	}
+	if v.started {
+		v.mux.mu.Unlock()
+		return nil
+	}
+	if v.handler == nil {
+		v.mux.mu.Unlock()
+		return fmt.Errorf("groupmux group %d: %w", v.group, errNoHandler)
+	}
+	v.started = true
+	v.mux.mu.Unlock()
+	return v.mux.viewStarted()
+}
+
+// Close implements Transport. The inner transport closes once every view
+// has closed.
+func (v *groupView) Close() error {
+	v.mux.mu.Lock()
+	if v.closed {
+		v.mux.mu.Unlock()
+		return nil
+	}
+	v.closed = true
+	v.mux.mu.Unlock()
+	return v.mux.viewClosed()
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/group"
 	"repro/internal/msg"
 	"repro/internal/node"
 	"repro/internal/smr"
@@ -166,17 +167,32 @@ type KVReplicaConfig struct {
 	// "none" (OS-buffered writes only: survives a killed process, not a
 	// power failure).
 	SyncMode string
+	// Shards is the number of independent consensus groups the replica
+	// process hosts (default 1). With Shards > 1 the keyspace is
+	// hash-partitioned across the groups (see smr.ShardOf): every process
+	// is a member of all groups over one shared replica-to-replica
+	// transport, one client listener, and one data directory (per-group
+	// file namespaces), and each group's steady-state leader sits on a
+	// different process — group g leads from process (1+g) mod n — so
+	// leader work parallelizes across the cluster. Shards == 1 is
+	// byte-for-byte the unsharded system. Every process of a cluster must
+	// configure the same value.
+	Shards int
 }
 
 // KVReplica is one member of the replicated key-value store: the SMR layer
-// of internal/smr running the paper's protocol per log slot.
+// of internal/smr running the paper's protocol per log slot. With Shards >
+// 1 the process hosts one independent consensus group per shard over a
+// shared transport and data directory (see internal/group); keys route to
+// groups by hash.
 type KVReplica struct {
 	cluster  Config
 	self     ProcessID
+	shards   int
 	tr       *transport.TCPTransport
 	clientLn *transport.ClientListener // nil unless ClientListenAddr was set
-	replica  *smr.Replica
-	store    *smr.KVStore
+	groups   []*group.Group            // one per shard
+	stores   []*smr.KVStore            // parallel to groups
 	seq      atomic.Uint64
 	client   string
 }
@@ -192,6 +208,20 @@ func NewKVReplica(cfg KVReplicaConfig) (*KVReplica, error) {
 	if cfg.BaseTimeout <= 0 {
 		cfg.BaseTimeout = 500 * time.Millisecond
 	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("fastbft: %d shards", cfg.Shards)
+	}
+	var mode storage.SyncMode
+	if cfg.DataDir != "" {
+		var err error
+		mode, err = storage.ParseSyncMode(cfg.SyncMode)
+		if err != nil {
+			return nil, err
+		}
+	}
 	tr, err := transport.NewTCP(transport.TCPConfig{
 		Self:       cfg.Self,
 		N:          cfg.Cluster.N,
@@ -203,7 +233,6 @@ func NewKVReplica(cfg KVReplicaConfig) (*KVReplica, error) {
 	if err != nil {
 		return nil, err
 	}
-	store := smr.NewKVStore()
 	var onCommit smr.CommitFunc
 	if cfg.OnCommit != nil {
 		cb := cfg.OnCommit
@@ -211,48 +240,56 @@ func NewKVReplica(cfg KVReplicaConfig) (*KVReplica, error) {
 			cb(slot, cmd)
 		}
 	}
-	var disk *storage.Store
-	if cfg.DataDir != "" {
-		mode, err := storage.ParseSyncMode(cfg.SyncMode)
-		if err != nil {
-			_ = tr.Close()
-			return nil, err
-		}
-		disk, err = storage.Open(storage.Config{Dir: cfg.DataDir, Mode: mode})
-		if err != nil {
-			_ = tr.Close()
-			return nil, fmt.Errorf("fastbft: opening data dir: %w", err)
-		}
-	}
-	rep, err := smr.NewReplica(smr.Config{
-		Cluster:            cfg.Cluster,
-		Self:               cfg.Self,
-		Signer:             cfg.Keys.scheme.Signer(cfg.Self),
-		Verifier:           cfg.Keys.scheme.Verifier(),
-		Transport:          tr,
-		App:                store,
-		OnCommit:           onCommit,
-		BaseTimeout:        cfg.BaseTimeout,
-		FixedTimeout:       cfg.FixedTimeout,
-		WindowSize:         cfg.WindowSize,
-		MaxBatch:           cfg.MaxBatch,
-		CheckpointInterval: cfg.CheckpointInterval,
-		Storage:            disk, // the replica owns it and closes it
-	})
-	if err != nil {
-		if disk != nil {
-			_ = disk.Close()
-		}
-		_ = tr.Close()
-		return nil, err
-	}
 	kr := &KVReplica{
 		cluster: cfg.Cluster,
 		self:    cfg.Self,
+		shards:  cfg.Shards,
 		tr:      tr,
-		replica: rep,
-		store:   store,
 		client:  fmt.Sprintf("replica-%d", cfg.Self),
+	}
+	// With one shard the raw transport is used directly — no group tag on
+	// the wire, no identity rotation, no storage namespace: byte-for-byte
+	// the pre-sharding system.
+	var mux *transport.GroupMux
+	if cfg.Shards > 1 {
+		mux = transport.NewGroupMux(tr, cfg.Shards)
+	}
+	closeGroups := func() {
+		for _, g := range kr.groups {
+			_ = g.Close()
+		}
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		gtr := transport.Transport(tr)
+		if mux != nil {
+			gtr = mux.View(i)
+		}
+		store := smr.NewKVStore()
+		g, err := group.New(group.Config{
+			Cluster:            cfg.Cluster,
+			Index:              i,
+			Shards:             cfg.Shards,
+			Self:               cfg.Self,
+			Signer:             cfg.Keys.scheme.Signer(cfg.Self),
+			Verifier:           cfg.Keys.scheme.Verifier(),
+			Transport:          gtr,
+			App:                store,
+			OnCommit:           onCommit,
+			BaseTimeout:        cfg.BaseTimeout,
+			FixedTimeout:       cfg.FixedTimeout,
+			WindowSize:         cfg.WindowSize,
+			MaxBatch:           cfg.MaxBatch,
+			CheckpointInterval: cfg.CheckpointInterval,
+			DataDir:            cfg.DataDir,
+			SyncMode:           mode,
+		})
+		if err != nil {
+			closeGroups()
+			_ = tr.Close()
+			return nil, err
+		}
+		kr.groups = append(kr.groups, g)
+		kr.stores = append(kr.stores, store)
 	}
 	if cfg.ClientListenAddr != "" {
 		ln, err := transport.NewClientListener(transport.ClientListenerConfig{
@@ -260,11 +297,16 @@ func NewKVReplica(cfg KVReplicaConfig) (*KVReplica, error) {
 			ListenAddr: cfg.ClientListenAddr,
 			Signer:     cfg.Keys.scheme.Signer(cfg.Self),
 			Handler: func(req *msg.Request, reply func(*msg.Reply)) error {
-				return rep.HandleRequest(req, reply)
+				// One listener serves every group; the request names its
+				// group and a bad group number drops the connection.
+				if req.Group >= uint64(len(kr.groups)) {
+					return fmt.Errorf("fastbft: request for group %d of %d", req.Group, len(kr.groups))
+				}
+				return kr.groups[req.Group].Replica().HandleRequest(req, reply)
 			},
 		})
 		if err != nil {
-			_ = rep.Close()
+			closeGroups()
 			return nil, err
 		}
 		kr.clientLn = ln
@@ -287,11 +329,14 @@ func (r *KVReplica) ClientAddr() string {
 // SetPeers installs the cluster address table before Start.
 func (r *KVReplica) SetPeers(addrs []string) error { return r.tr.SetPeers(addrs) }
 
-// Start begins participating; with a client listener configured, it also
-// starts serving networked clients.
+// Start begins participating in every hosted group; with a client listener
+// configured, it also starts serving networked clients. With Shards > 1 the
+// shared transport comes up once the last group starts.
 func (r *KVReplica) Start() error {
-	if err := r.replica.Start(); err != nil {
-		return err
+	for _, g := range r.groups {
+		if err := g.Start(); err != nil {
+			return err
+		}
 	}
 	if r.clientLn != nil {
 		return r.clientLn.Start()
@@ -299,24 +344,31 @@ func (r *KVReplica) Start() error {
 	return nil
 }
 
-// Close stops the replica and its client listener.
+// Close stops every group and the client listener. The shared transport
+// closes with the last group.
 func (r *KVReplica) Close() error {
 	if r.clientLn != nil {
 		_ = r.clientLn.Close()
 	}
-	return r.replica.Close()
+	var err error
+	for _, g := range r.groups {
+		if cerr := g.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
-// Set replicates a key/value write through the log, fire-and-forget, under
-// the replica's own client session. Use NewKVClient for replies and
+// Set replicates a key/value write through the key's group, fire-and-forget,
+// under the replica's own client session. Use NewKVClient for replies and
 // end-to-end confirmation.
 func (r *KVReplica) Set(key, value string) error {
 	return r.HandleRequest(r.client, r.seq.Add(1),
 		smr.EncodeKV(smr.KVCommand{Op: smr.OpSet, Key: key, Value: value}), nil)
 }
 
-// Delete replicates a key removal through the log, fire-and-forget, under
-// the replica's own client session.
+// Delete replicates a key removal through the key's group, fire-and-forget,
+// under the replica's own client session.
 func (r *KVReplica) Delete(key string) error {
 	return r.HandleRequest(r.client, r.seq.Add(1),
 		smr.EncodeKV(smr.KVCommand{Op: smr.OpDel, Key: key}), nil)
@@ -330,10 +382,14 @@ type ClientReply struct {
 	// Slot is the log slot the request executed in.
 	Slot uint64
 	// Replica is the responding replica; a client trusts a result once f+1
-	// distinct replicas report it.
+	// distinct replicas report it. In a sharded deployment the identifier
+	// is the group's logical one (group g's logical l is physical
+	// (l+g) mod n).
 	Replica ProcessID
 	// Result is the application's result bytes.
 	Result []byte
+	// Group is the consensus group that executed the request.
+	Group uint64
 }
 
 // HandleRequest submits one external client request to this replica's
@@ -341,7 +397,11 @@ type ClientReply struct {
 // per-client executed high-water mark, a retransmission of the last
 // executed request is answered from the reply cache without re-execution,
 // and onReply (optional) receives the reply once the request executes.
-// Sequence numbers start at 1 and must increase within a session.
+// Sequence numbers start at 1 and must increase within a session. In a
+// sharded replica the request routes to its key's group (ops that do not
+// decode as KV commands go to group 0), and sessions are per group — a
+// client interleaving keys of different groups leaves gaps in each group's
+// sequence numbering, which the session tables accept.
 func (r *KVReplica) HandleRequest(clientID string, seq uint64, op []byte, onReply func(ClientReply)) error {
 	var cb smr.ReplyFunc
 	if onReply != nil {
@@ -352,17 +412,30 @@ func (r *KVReplica) HandleRequest(clientID string, seq uint64, op []byte, onRepl
 				Slot:    rep.Slot,
 				Replica: rep.Replica,
 				Result:  rep.Result,
+				Group:   rep.Group,
 			})
 		}
 	}
-	return r.replica.HandleRequest(&msg.Request{
-		Client: types.ClientID(clientID), Seq: seq, Op: op,
+	g := uint64(0)
+	if r.shards > 1 {
+		if c, err := smr.DecodeKV(smr.Command(op)); err == nil {
+			g = smr.ShardOf(c.Key, r.shards)
+		}
+	}
+	return r.groups[g].Replica().HandleRequest(&msg.Request{
+		Client: types.ClientID(clientID), Seq: seq, Op: op, Group: g,
 	}, cb)
 }
 
-// SessionCount returns the number of live client sessions on this replica
-// (bounded by active clients, not log length).
-func (r *KVReplica) SessionCount() int { return r.replica.SessionCount() }
+// SessionCount returns the number of live client sessions across the
+// replica's groups (bounded by active clients, not log length).
+func (r *KVReplica) SessionCount() int {
+	total := 0
+	for _, g := range r.groups {
+		total += g.Replica().SessionCount()
+	}
+	return total
+}
 
 // ReplicaStats is a snapshot of a replica's SMR counters: decided and
 // applied slots, executed commands, malformed decided batches (evidence of
@@ -370,18 +443,60 @@ func (r *KVReplica) SessionCount() int { return r.replica.SessionCount() }
 // in-flight/pending queue sizes.
 type ReplicaStats = smr.Stats
 
-// Stats returns a snapshot of this replica's SMR counters.
-func (r *KVReplica) Stats() ReplicaStats { return r.replica.Stats() }
+// Stats returns a snapshot of this replica's SMR counters, aggregated
+// across its groups: counters and queue sizes sum; RegimeTimeout reports
+// the largest (most conservative) per-group suspicion delay. Use ShardStats
+// for one group's view.
+func (r *KVReplica) Stats() ReplicaStats {
+	var agg ReplicaStats
+	for _, g := range r.groups {
+		st := g.Replica().Stats()
+		agg.DecidedSlots += st.DecidedSlots
+		agg.AppliedSlots += st.AppliedSlots
+		agg.AppliedCommands += st.AppliedCommands
+		agg.MalformedBatches += st.MalformedBatches
+		agg.Reproposed += st.Reproposed
+		agg.InflightCommands += st.InflightCommands
+		agg.PendingCommands += st.PendingCommands
+		agg.RegimeTimeouts += st.RegimeTimeouts
+		if st.RegimeTimeout > agg.RegimeTimeout {
+			agg.RegimeTimeout = st.RegimeTimeout
+		}
+	}
+	return agg
+}
 
-// Get reads a key from the local replica state.
-func (r *KVReplica) Get(key string) (string, bool) { return r.store.Get(key) }
+// Shards returns how many consensus groups the replica hosts.
+func (r *KVReplica) Shards() int { return r.shards }
 
-// AppliedOps returns the number of commands applied locally.
-func (r *KVReplica) AppliedOps() uint64 { return r.store.AppliedOps() }
+// ShardStats returns one group's SMR counters.
+func (r *KVReplica) ShardStats(g int) ReplicaStats { return r.groups[g].Replica().Stats() }
 
-// StableCheckpoint returns the replica's newest quorum-certified checkpoint,
-// if checkpointing is enabled and one has formed.
-func (r *KVReplica) StableCheckpoint() (Checkpoint, bool) { return r.replica.StableCheckpoint() }
+// ShardOf returns the group a key routes to on this replica.
+func (r *KVReplica) ShardOf(key string) uint64 { return smr.ShardOf(key, r.shards) }
+
+// Get reads a key from the local state of the key's group.
+func (r *KVReplica) Get(key string) (string, bool) {
+	return r.stores[smr.ShardOf(key, r.shards)].Get(key)
+}
+
+// AppliedOps returns the number of commands applied locally across all
+// groups.
+func (r *KVReplica) AppliedOps() uint64 {
+	var total uint64
+	for _, st := range r.stores {
+		total += st.AppliedOps()
+	}
+	return total
+}
+
+// StableCheckpoint returns group 0's newest quorum-certified checkpoint, if
+// checkpointing is enabled and one has formed. (Each group checkpoints
+// independently; group 0 is the representative the single-group API
+// exposes.)
+func (r *KVReplica) StableCheckpoint() (Checkpoint, bool) {
+	return r.groups[0].Replica().StableCheckpoint()
+}
 
 // ---------------------------------------------------------------------------
 // External client sessions
@@ -395,21 +510,27 @@ func (r *KVReplica) StableCheckpoint() (Checkpoint, bool) { return r.replica.Sta
 // matching reply. Replicas answer retransmissions of executed requests from
 // their per-client reply cache, so a request is applied exactly once no
 // matter how often it is resent.
+//
+// Against a sharded cluster the client is shard-aware: it holds one session
+// per consensus group and routes every key to its group's session, so
+// workloads spanning groups fan out across the per-group leaders.
 type KVClient struct {
-	inner *client.Client
+	shards int
+	inners []*client.Client // one session per group
 }
 
 // NewKVClient opens a client session over the given replicas — one handle
 // per process, indexed by ProcessID; nil entries model unreachable
 // replicas. id names the session: reusing an id resumes its sequence
 // numbering, so a fresh client needs a fresh id. timeout is one
-// retransmission round (500ms if zero).
+// retransmission round (500ms if zero). The shard count is taken from the
+// replicas; a sharded cluster gets a shard-aware client transparently.
 func NewKVClient(id string, timeout time.Duration, reps ...*KVReplica) (*KVClient, error) {
 	if len(reps) == 0 {
 		return nil, fmt.Errorf("fastbft: no replicas")
 	}
 	var cluster Config
-	handles := make([]*smr.Replica, len(reps))
+	shards := 0
 	for i, kr := range reps {
 		if kr == nil {
 			continue
@@ -419,21 +540,42 @@ func NewKVClient(id string, timeout time.Duration, reps ...*KVReplica) (*KVClien
 			// would make the client silently reject every reply.
 			return nil, fmt.Errorf("fastbft: replica %s at index %d; pass replicas in ProcessID order", kr.self, i)
 		}
+		if shards != 0 && kr.shards != shards {
+			return nil, fmt.Errorf("fastbft: replicas disagree on shard count (%d vs %d)", kr.shards, shards)
+		}
 		cluster = kr.cluster
-		handles[i] = kr.replica
+		shards = kr.shards
+	}
+	if shards == 0 {
+		return nil, fmt.Errorf("fastbft: no replicas")
 	}
 	if len(reps) != cluster.N {
 		return nil, fmt.Errorf("fastbft: %d replica handles for n=%d", len(reps), cluster.N)
 	}
-	inner, err := client.New(client.Config{
-		Cluster: cluster,
-		ID:      types.ClientID(id),
-		Timeout: timeout,
-	}, client.NewLocal(handles))
-	if err != nil {
-		return nil, err
+	c := &KVClient{shards: shards}
+	for g := 0; g < shards; g++ {
+		// Each group's transport is indexed by the group's logical
+		// identifiers: logical l is the physical process (l+g) mod n.
+		handles := make([]*smr.Replica, cluster.N)
+		for l := 0; l < cluster.N; l++ {
+			phys := (l + g) % cluster.N
+			if reps[phys] != nil {
+				handles[l] = reps[phys].groups[g].Replica()
+			}
+		}
+		inner, err := client.New(client.Config{
+			Cluster: cluster,
+			ID:      types.ClientID(id),
+			Timeout: timeout,
+			Group:   uint64(g),
+		}, client.NewLocal(handles))
+		if err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		c.inners = append(c.inners, inner)
 	}
-	return &KVClient{inner: inner}, nil
+	return c, nil
 }
 
 // NewKVNetworkClient opens a client session over TCP against replicas in
@@ -446,6 +588,17 @@ func NewKVClient(id string, timeout time.Duration, reps ...*KVReplica) (*KVClien
 // also covers redialing crashed or unreachable replicas), f+1 matching-reply
 // confirmation, and server-side exactly-once execution.
 func NewKVNetworkClient(id string, timeout time.Duration, cluster Config, keys *Keys, clientAddrs []string) (*KVClient, error) {
+	return NewShardedKVNetworkClient(id, timeout, cluster, keys, clientAddrs, 1)
+}
+
+// NewShardedKVNetworkClient opens a shard-aware client session over TCP
+// against a cluster whose replicas host `shards` consensus groups
+// (KVReplicaConfig.Shards): one session per group, all multiplexed over a
+// single set of authenticated connections, with every key routed to its
+// group's session. shards must match the cluster's configuration — a
+// mismatched group number is rejected by the replicas. shards == 1 is
+// exactly NewKVNetworkClient.
+func NewShardedKVNetworkClient(id string, timeout time.Duration, cluster Config, keys *Keys, clientAddrs []string, shards int) (*KVClient, error) {
 	if err := cluster.Validate(); err != nil {
 		return nil, err
 	}
@@ -455,6 +608,9 @@ func NewKVNetworkClient(id string, timeout time.Duration, cluster Config, keys *
 	if len(clientAddrs) != cluster.N {
 		return nil, fmt.Errorf("fastbft: %d client addresses for n=%d", len(clientAddrs), cluster.N)
 	}
+	if shards < 1 {
+		return nil, fmt.Errorf("fastbft: %d shards", shards)
+	}
 	tr, err := client.NewTCP(client.TCPConfig{
 		N:        cluster.N,
 		Addrs:    append([]string(nil), clientAddrs...),
@@ -463,34 +619,80 @@ func NewKVNetworkClient(id string, timeout time.Duration, cluster Config, keys *
 	if err != nil {
 		return nil, err
 	}
-	inner, err := client.New(client.Config{
-		Cluster: cluster,
-		ID:      types.ClientID(id),
-		Timeout: timeout,
-	}, tr)
-	if err != nil {
-		_ = tr.Close()
-		return nil, err
+	c := &KVClient{shards: shards}
+	if shards == 1 {
+		inner, err := client.New(client.Config{
+			Cluster: cluster,
+			ID:      types.ClientID(id),
+			Timeout: timeout,
+		}, tr)
+		if err != nil {
+			_ = tr.Close()
+			return nil, err
+		}
+		c.inners = []*client.Client{inner}
+		return c, nil
 	}
-	return &KVClient{inner: inner}, nil
+	demux := client.NewDemux(tr, cluster.N, shards)
+	for g := 0; g < shards; g++ {
+		inner, err := client.New(client.Config{
+			Cluster: cluster,
+			ID:      types.ClientID(id),
+			Timeout: timeout,
+			Group:   uint64(g),
+		}, demux.View(g))
+		if err != nil {
+			_ = c.Close()
+			for h := g; h < shards; h++ {
+				_ = demux.View(h).Close() // release the remaining refs on tr
+			}
+			return nil, err
+		}
+		c.inners = append(c.inners, inner)
+	}
+	return c, nil
 }
 
-// Set replicates a key/value write and returns the replicated result (the
-// stored value), confirmed by f+1 replicas.
+// Set replicates a key/value write through the key's group and returns the
+// replicated result (the stored value), confirmed by f+1 replicas.
 func (c *KVClient) Set(key, value string) (string, error) {
-	res, err := c.inner.Execute(smr.EncodeKV(smr.KVCommand{Op: smr.OpSet, Key: key, Value: value}))
+	res, err := c.session(key).Execute(smr.EncodeKV(smr.KVCommand{Op: smr.OpSet, Key: key, Value: value}))
 	return string(res), err
 }
 
-// Delete replicates a key removal and returns the removed value (empty if
-// the key was absent), confirmed by f+1 replicas.
+// Delete replicates a key removal through the key's group and returns the
+// removed value (empty if the key was absent), confirmed by f+1 replicas.
 func (c *KVClient) Delete(key string) (string, error) {
-	res, err := c.inner.Execute(smr.EncodeKV(smr.KVCommand{Op: smr.OpDel, Key: key}))
+	res, err := c.session(key).Execute(smr.EncodeKV(smr.KVCommand{Op: smr.OpDel, Key: key}))
 	return string(res), err
 }
 
-// Seq returns the highest sequence number the session has assigned.
-func (c *KVClient) Seq() uint64 { return c.inner.Seq() }
+// session returns the per-group session a key belongs to.
+func (c *KVClient) session(key string) *client.Client {
+	return c.inners[smr.ShardOf(key, c.shards)]
+}
 
-// Close releases the session; blocked calls return.
-func (c *KVClient) Close() error { return c.inner.Close() }
+// Shards returns the number of per-group sessions the client holds.
+func (c *KVClient) Shards() int { return c.shards }
+
+// Seq returns the total number of sequence numbers assigned across the
+// client's per-group sessions — with one group, the session's high-water
+// mark.
+func (c *KVClient) Seq() uint64 {
+	var total uint64
+	for _, in := range c.inners {
+		total += in.Seq()
+	}
+	return total
+}
+
+// Close releases every session; blocked calls return.
+func (c *KVClient) Close() error {
+	var err error
+	for _, in := range c.inners {
+		if cerr := in.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -7,7 +7,7 @@ GO ?= go
 # committed at the repo root (and CI uploads the regenerated one as a
 # workflow artifact), so the perf trajectory is recorded run over run.
 # FUZZTIME is the per-target budget of the fuzz target.
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
 FUZZTIME ?= 30s
 
 .PHONY: all build test race bench bench-json fuzz smoke leaderkill fmt fmt-check vet doc-check byz recovery-race clean
@@ -38,13 +38,15 @@ bench:
 ## convert the combined output to a JSON report via cmd/benchjson, so the
 ## perf trajectory is recorded run over run (separate steps, not a pipe: a
 ## pipe would report the converter's exit status and let a failing
-## benchmark run slip through CI green)
+## benchmark run slip through CI green). The pipelined run also dumps its
+## metrics-registry snapshot (FASTBFT_BENCH_METRICS), which benchjson embeds
+## in the report — stage-latency histograms travel with the numbers
 bench-json:
-	$(GO) test -run '^$$' -bench . -skip '^BenchmarkSMRDurableThroughput$$|^BenchmarkSMRShardedThroughput$$' -benchtime 1x -benchmem ./... > $(BENCH_JSON).txt
+	FASTBFT_BENCH_METRICS=$(BENCH_JSON).metrics $(GO) test -run '^$$' -bench . -skip '^BenchmarkSMRDurableThroughput$$|^BenchmarkSMRShardedThroughput$$' -benchtime 1x -benchmem ./... > $(BENCH_JSON).txt
 	$(GO) test -run '^$$' -bench '^BenchmarkSMRDurableThroughput$$' -benchtime 30x . >> $(BENCH_JSON).txt
 	$(GO) test -run '^$$' -bench '^BenchmarkSMRShardedThroughput$$' -benchtime 20x . >> $(BENCH_JSON).txt
-	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < $(BENCH_JSON).txt
-	rm -f $(BENCH_JSON).txt
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) -metrics $(BENCH_JSON).metrics < $(BENCH_JSON).txt
+	rm -f $(BENCH_JSON).txt $(BENCH_JSON).metrics
 
 ## fuzz: run every fuzz target for FUZZTIME each (Go allows one -fuzz
 ## pattern per invocation, hence one line per target)
@@ -63,10 +65,13 @@ fuzz:
 ## children if anything hangs. The second run repeats the same drill with
 ## every process hosting two consensus groups over one transport and one
 ## data dir (the second victim leads one of the groups, so that group's
-## writes ride the windowed view change), driven by the shard-aware client
+## writes ride the windowed view change), driven by the shard-aware client.
+## Both runs carry -metrics: the parent scrapes every live child's HTTP
+## introspection endpoint mid-workload and fails if a child's decided-slot
+## counters disagree with its own Stats on shutdown
 smoke:
-	$(GO) run ./cmd/fastbft-cluster -f 1 -t 1 -procs -ops 40 -timeout 120s
-	$(GO) run ./cmd/fastbft-cluster -f 1 -t 1 -procs -shards 2 -ops 40 -timeout 120s
+	$(GO) run ./cmd/fastbft-cluster -f 1 -t 1 -procs -metrics -ops 40 -timeout 120s
+	$(GO) run ./cmd/fastbft-cluster -f 1 -t 1 -procs -shards 2 -metrics -ops 40 -timeout 120s
 
 ## leaderkill: boot the same multi-process cluster and kill -9 the view-1
 ## leader process mid-workload, never restarting it — the rest of the
@@ -74,7 +79,7 @@ smoke:
 ## post-kill write must confirm within the recovery bound, and every
 ## surviving replica must report regime-timer suspicions on shutdown
 leaderkill:
-	$(GO) run ./cmd/fastbft-cluster -f 1 -t 1 -procs -leaderkill -ops 30 -timeout 120s
+	$(GO) run ./cmd/fastbft-cluster -f 1 -t 1 -procs -leaderkill -metrics -ops 30 -timeout 120s
 
 ## fmt: rewrite sources with gofmt
 fmt:

@@ -7,8 +7,11 @@ package fastbft
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -17,6 +20,7 @@ import (
 	"repro/internal/group"
 	"repro/internal/lowerbound"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/sigcrypto"
 	"repro/internal/sim"
 	"repro/internal/smr"
@@ -327,11 +331,20 @@ func BenchmarkSMRThroughput(b *testing.B) {
 	}
 }
 
+// benchMetricsPath, when non-empty, is a file the pipelined benchmark
+// writes its leader's metrics-registry JSON snapshot to (last window run
+// wins), so `make bench-json` can attach the observability layer's own view
+// of the run — stage-latency histograms included — to the committed report.
+var benchMetricsPath = os.Getenv("FASTBFT_BENCH_METRICS")
+
 // BenchmarkSMRPipelinedThroughput measures decided-commands/sec as the
 // consensus window grows: window=1 serializes the log (one batch per
 // consensus round-trip), larger windows pipeline concurrent slots over
 // disjoint chunks of the pending queue. The "cmds/s" metric at window 8
-// versus window 1 is the headline speedup of pipelined replication.
+// versus window 1 is the headline speedup of pipelined replication. Every
+// replica runs with a live metrics registry and staged request tracer, so
+// the number also prices the instrumented hot path — the configuration
+// production replicas actually run.
 func BenchmarkSMRPipelinedThroughput(b *testing.B) {
 	cfg := types.Generalized(1, 1)
 	const burst = 64   // commands submitted per iteration
@@ -346,21 +359,24 @@ func BenchmarkSMRPipelinedThroughput(b *testing.B) {
 			scheme := sigcrypto.NewHMAC(cfg.N, 1)
 			net := transport.NewMemNetwork(cfg.N, delay)
 			defer func() { _ = net.Close() }()
+			reg := obs.NewRegistry()
 			reps := make([]*smr.Replica, cfg.N)
 			stores := make([]*smr.KVStore, cfg.N)
 			for i := 0; i < cfg.N; i++ {
 				pid := types.ProcessID(i)
 				stores[i] = smr.NewKVStore()
 				r, err := smr.NewReplica(smr.Config{
-					Cluster:     cfg,
-					Self:        pid,
-					Signer:      scheme.Signer(pid),
-					Verifier:    scheme.Verifier(),
-					Transport:   net.Transport(pid),
-					App:         stores[i],
-					BaseTimeout: 500 * time.Millisecond,
-					WindowSize:  window,
-					MaxBatch:    maxBatch,
+					Cluster:       cfg,
+					Self:          pid,
+					Signer:        scheme.Signer(pid),
+					Verifier:      scheme.Verifier(),
+					Transport:     net.Transport(pid),
+					App:           stores[i],
+					BaseTimeout:   500 * time.Millisecond,
+					WindowSize:    window,
+					MaxBatch:      maxBatch,
+					Metrics:       reg,
+					MetricsLabels: obs.Labels{"replica": strconv.Itoa(i)},
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -409,6 +425,15 @@ func BenchmarkSMRPipelinedThroughput(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(b.N*burst)/b.Elapsed().Seconds(), "cmds/s")
+			if benchMetricsPath != "" {
+				var sb strings.Builder
+				if err := reg.Snapshot().WriteJSON(&sb); err != nil {
+					b.Fatal(err)
+				}
+				if err := os.WriteFile(benchMetricsPath, []byte(sb.String()), 0o644); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

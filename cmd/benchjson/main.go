@@ -46,15 +46,33 @@ type Report struct {
 	Env map[string]string `json:"env"`
 	// Benchmarks lists every parsed result in input order.
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// MetricsSnapshot, when -metrics names a file, embeds the metrics
+	// registry snapshot the pipelined benchmark wrote there (see
+	// FASTBFT_BENCH_METRICS in bench_test.go) — the observability layer's
+	// own view of the run, stage-latency histograms included.
+	MetricsSnapshot json.RawMessage `json:"metrics_snapshot,omitempty"`
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	metrics := flag.String("metrics", "", "metrics snapshot JSON file to embed in the report (optional)")
 	flag.Parse()
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		snap, err := os.ReadFile(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if !json.Valid(snap) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not valid JSON\n", *metrics)
+			os.Exit(1)
+		}
+		rep.MetricsSnapshot = json.RawMessage(snap)
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

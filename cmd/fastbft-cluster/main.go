@@ -40,9 +40,11 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -53,6 +55,7 @@ import (
 	fastbft "repro"
 	"repro/internal/byz"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/quorum"
 	"repro/internal/sigcrypto"
 	"repro/internal/smr"
@@ -102,6 +105,7 @@ func run(args []string) error {
 	byzName := fs.String("byz", "", "corrupt one replica process with the named adversary (requires -procs); see docs/THREAT_MODEL.md. Known: garbage, equivocate")
 	leaderKill := fs.Bool("leaderkill", false, "kill -9 the view-1 leader process mid-workload and bound the recovery (requires -procs)")
 	shards := fs.Int("shards", 1, "consensus groups per replica process; keys are hash-partitioned and group leaders spread across processes")
+	metrics := fs.Bool("metrics", false, "give every replica process an HTTP introspection endpoint; the parent scrapes them mid-workload and cross-checks decided-slot counters at shutdown (requires -procs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -137,13 +141,13 @@ func run(args []string) error {
 		// (its process slot would have to play honest); go straight to the
 		// adversarial multi-process phase.
 		fmt.Printf("byzantine: replica process %d runs the %q adversary\n", byzProcID, *byzName)
-		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, *byzName, false, 1)
+		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, *byzName, false, 1, *metrics)
 	}
 	if *leaderKill {
 		// The drill's whole point is losing the leader; skip the warm-up
 		// consensus round so the workload starts against a full cluster.
 		fmt.Printf("leaderkill: replica process %d (the view-1 leader) will be kill -9'd mid-workload\n", byzProcID)
-		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, "", true, 1)
+		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, "", true, 1, *metrics)
 	}
 
 	// Phase 1: single-shot consensus over TCP.
@@ -199,7 +203,7 @@ func run(args []string) error {
 	}
 
 	if *procs {
-		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, "", false, *shards)
+		return runMultiProcess(cfg, *f, *t, *ops, *seed, *timeout, "", false, *shards, *metrics)
 	}
 	return runSingleProcess(cfg, *ops, *shards)
 }
@@ -326,7 +330,15 @@ const leaderKillRecoveryBound = 15 * time.Second
 // (byzProcID — the leader of view 1 of every slot) a third of the way in,
 // never restarts it, times how long the next write takes to confirm, and
 // fails if recovery exceeds leaderKillRecoveryBound.
-func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time.Duration, byzName string, leaderKill bool, shards int) error {
+// With metrics set every honest child additionally binds an HTTP
+// introspection endpoint: the parent scrapes each live child's JSON metrics
+// snapshot halfway through the workload (asserting the staged-latency
+// histograms, fsync/coalescing instruments, per-kind message counters, and
+// view-change counters are really being populated), and on shutdown each
+// child re-scrapes itself and reports a METRICS line the parent checks for
+// agreement between the endpoint's decided-slot counters and the replica's
+// own Stats.
+func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time.Duration, byzName string, leaderKill bool, shards int, metrics bool) error {
 	exe, err := os.Executable()
 	if err != nil {
 		return err
@@ -370,6 +382,11 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 			"-clientaddr", clientAddr,
 			"-datadir", filepath.Join(dataRoot, fmt.Sprintf("replica-%d", i)),
 			"-shards", strconv.Itoa(shards),
+		}
+		if metrics && !(byzName != "" && i == byzProcID) {
+			// The adversary child has no replica (and so no registry); every
+			// honest child binds an ephemeral introspection endpoint.
+			cargs = append(cargs, "-metricsaddr", "127.0.0.1:0")
 		}
 		if byzName != "" {
 			if i == byzProcID {
@@ -426,15 +443,21 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 	defer watchdog.Stop()
 
 	// Collect each child's bound addresses, distribute the peer table, wait
-	// for every replica to come up.
+	// for every replica to come up. A metrics-enabled child reports a third
+	// ADDRS field ("-" when the endpoint is off); the adversary child keeps
+	// the two-field form.
 	peerAddrs := make([]string, cfg.N)
 	clientAddrs := make([]string, cfg.N)
+	metricsAddrs := make([]string, cfg.N)
 	for i, c := range children {
 		fields, err := c.expect("ADDRS", 2)
 		if err != nil {
 			return fmt.Errorf("replica process %d: %w", i, err)
 		}
 		peerAddrs[i], clientAddrs[i] = fields[0], fields[1]
+		if len(fields) >= 3 && fields[2] != "-" {
+			metricsAddrs[i] = fields[2]
+		}
 	}
 	peerLine := "PEERS " + strings.Join(peerAddrs, " ") + "\n"
 	ready := func(i int) error {
@@ -507,6 +530,12 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 			if fields[0] != peerAddrs[crash1] || fields[1] != clientAddrs[crash1] {
 				return fmt.Errorf("restarted replica %d bound %v, want its old addresses", crash1, fields)
 			}
+			// The peer/client addresses are pinned; the metrics endpoint is
+			// ephemeral and rebinds wherever the OS puts it.
+			metricsAddrs[crash1] = ""
+			if len(fields) >= 3 && fields[2] != "-" {
+				metricsAddrs[crash1] = fields[2]
+			}
 			if err := ready(crash1); err != nil {
 				return err
 			}
@@ -518,6 +547,29 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 			}
 			_ = children[crash2].cmd.Wait()
 			fmt.Printf("crash: killed replica process %d — further progress needs the recovered replica\n", crash2)
+		}
+		if metrics && i == ops/2 {
+			// Halfway in, scrape every live replica's introspection endpoint
+			// and require the instruments to be visibly working: in the
+			// default drill crash1 is dead between killAt and restartAt; in
+			// the adversarial/leader-kill drills process byzProcID either has
+			// no endpoint or has been killed.
+			skip := crash1
+			if byzName != "" || leaderKill {
+				skip = byzProcID
+			}
+			scraped := 0
+			for p, maddr := range metricsAddrs {
+				if p == skip || maddr == "" {
+					continue
+				}
+				if err := scrapeMidWorkload(maddr, p, shards); err != nil {
+					return fmt.Errorf("mid-workload metrics scrape: %w", err)
+				}
+				scraped++
+			}
+			fmt.Printf("metrics: scraped %d live replica endpoints after %d writes; stage-latency histograms through %q, fsync+coalescing instruments, and per-kind message counters all populated\n",
+				scraped, i, "replied")
 		}
 		var leaderKilledAt time.Time
 		if i == leaderKillAt {
@@ -565,6 +617,11 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 		if err := collectStats(children, byzProcID, wantMalformed); err != nil {
 			return err
 		}
+		if metrics {
+			if err := collectMetrics(children, byzProcID, metricsAddrs); err != nil {
+				return err
+			}
+		}
 		_ = children[byzProcID].stdin.Close()
 		return nil
 	}
@@ -575,7 +632,13 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 		// The survivors must report at least one regime suspicion each:
 		// two thirds of the workload committed without the view-1 leader,
 		// which is impossible unless the windowed view change carried it.
-		return collectStats(children, byzProcID, 0)
+		if err := collectStats(children, byzProcID, 0); err != nil {
+			return err
+		}
+		if metrics {
+			return collectMetrics(children, byzProcID, metricsAddrs)
+		}
+		return nil
 	}
 	fmt.Printf("networked kv: %d writes from an external client process, each confirmed by f+1 replicas over TCP, with replica %d kill -9'd and restarted from its data dir and replica %d crashed after it (%.2fs, %.0f ops/s)\n",
 		ops, crash1, crash2, elapsed.Seconds(), float64(ops)/elapsed.Seconds())
@@ -585,6 +648,9 @@ func runMultiProcess(cfg fastbft.Config, f, t, ops int, seed int64, timeout time
 		if i != crash2 {
 			_ = c.stdin.Close()
 		}
+	}
+	if metrics {
+		return collectMetrics(children, crash2, metricsAddrs)
 	}
 	return nil
 }
@@ -649,6 +715,128 @@ func collectStats(children []*child, skip, wantMalformed int) error {
 	return nil
 }
 
+// fetchSnapshot scrapes one replica's JSON metrics snapshot over HTTP.
+func fetchSnapshot(addr string) (*obs.Snapshot, error) {
+	cli := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cli.Get("http://" + addr + "/metrics.json")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics endpoint %s: HTTP %d", addr, resp.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("metrics endpoint %s: %w", addr, err)
+	}
+	return &snap, nil
+}
+
+// snapshotDecided sums the decided-slot counter across a replica's groups.
+func snapshotDecided(snap *obs.Snapshot, proc, shards int) uint64 {
+	var decided float64
+	for g := 0; g < shards; g++ {
+		v, _ := snap.Value("fastbft_slots_decided_total",
+			obs.Labels{"group": strconv.Itoa(g), "replica": strconv.Itoa(proc)})
+		decided += v
+	}
+	return uint64(decided)
+}
+
+// scrapeMidWorkload requires replica proc's snapshot to show the
+// observability layer fully live mid-drill: the staged request tracer has
+// carried batches all the way to "replied", the WAL recorded real fsyncs and
+// their coalescing factor, protocol messages are being counted per kind,
+// frames crossed the wire, and the regime-timeout/view-change counters are
+// exported. It checks presence per group and activity summed over groups —
+// under hash partitioning a group may legitimately be quiet at the halfway
+// mark.
+func scrapeMidWorkload(addr string, proc, shards int) error {
+	snap, err := fetchSnapshot(addr)
+	if err != nil {
+		return err
+	}
+	rep := strconv.Itoa(proc)
+	decided := snapshotDecided(snap, proc, shards)
+	var fsyncs, replied uint64
+	for g := 0; g < shards; g++ {
+		gl := obs.Labels{"group": strconv.Itoa(g), "replica": rep}
+		c, _ := snap.HistCount("fastbft_fsync_seconds", gl)
+		fsyncs += c
+		for _, st := range []string{"proposed", "ackquorum", "decided", "applied", "durable", "replied"} {
+			sl := obs.Labels{"group": gl["group"], "replica": rep, "stage": st}
+			n, ok := snap.HistCount("fastbft_stage_seconds", sl)
+			if !ok {
+				return fmt.Errorf("replica %d group %d: stage histogram %q missing", proc, g, st)
+			}
+			if st == "replied" {
+				replied += n
+			}
+		}
+		for _, name := range []string{
+			"fastbft_wal_coalesced_records",
+			"fastbft_regime_timeouts_total",
+			"fastbft_view_changes_total",
+		} {
+			if !snap.Has(name, gl) {
+				return fmt.Errorf("replica %d group %d: metric %q missing", proc, g, name)
+			}
+		}
+		if !snap.Has("fastbft_messages_in_total", obs.Labels{"group": gl["group"], "replica": rep, "kind": "propose"}) {
+			return fmt.Errorf("replica %d group %d: per-kind message counters missing", proc, g)
+		}
+	}
+	if decided == 0 {
+		return fmt.Errorf("replica %d: no decided slots on the metrics endpoint mid-workload", proc)
+	}
+	if replied == 0 {
+		return fmt.Errorf("replica %d: stage histogram never reached %q", proc, "replied")
+	}
+	if fsyncs == 0 {
+		return fmt.Errorf("replica %d: no fsyncs observed despite a durable data dir", proc)
+	}
+	if v, _ := snap.Value("fastbft_net_frames_in_total", obs.Labels{"replica": rep}); v == 0 {
+		return fmt.Errorf("replica %d: no inbound frames counted at the transport", proc)
+	}
+	return nil
+}
+
+// collectMetrics reads each surviving child's METRICS line — printed on
+// shutdown after the child scrapes its own HTTP endpoint — and requires the
+// endpoint's decided-slot total to agree with the replica's in-process
+// Stats. Disagreement means the registry and the Stats path drifted apart,
+// exactly the torn-counter class of bug the shared registry exists to kill.
+func collectMetrics(children []*child, skip int, metricsAddrs []string) error {
+	for i, c := range children {
+		if i == skip || metricsAddrs[i] == "" {
+			continue
+		}
+		_ = c.stdin.Close() // idempotent; collectStats may already have closed it
+		fields, err := c.expect("METRICS", 2)
+		if err != nil {
+			return fmt.Errorf("replica process %d metrics: %w", i, err)
+		}
+		kv := make(map[string]string, len(fields))
+		for _, f := range fields {
+			if k, v, ok := strings.Cut(f, "="); ok {
+				kv[k] = v
+			}
+		}
+		decided, err1 := strconv.ParseUint(kv["decided"], 10, 64)
+		statsDecided, err2 := strconv.ParseUint(kv["stats_decided"], 10, 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("replica process %d: bad METRICS line %v", i, fields)
+		}
+		if decided != statsDecided {
+			return fmt.Errorf("replica process %d: metrics endpoint reports %d decided slots but Stats reports %d",
+				i, decided, statsDecided)
+		}
+		fmt.Printf("replica process %d: metrics endpoint agrees with Stats (decided=%d)\n", i, decided)
+	}
+	return nil
+}
+
 // replicaMain is the child role of a -procs run: one KV replica with a
 // replica-to-replica listener and a client-facing listener, coordinated with
 // the parent over stdin/stdout (ADDRS out, PEERS in, READY out, EOF to stop).
@@ -668,6 +856,7 @@ func replicaMain(args []string) error {
 	shards := fs.Int("shards", 1, "consensus groups hosted by this process")
 	stats := fs.Bool("stats", false, "report a STATS line on shutdown")
 	byzSlots := fs.Int("byzslots", 0, "expected malformed-batch count to settle before the STATS line (implies -stats)")
+	metricsAddr := fs.String("metricsaddr", "", "HTTP introspection endpoint listen address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -687,12 +876,20 @@ func replicaMain(args []string) error {
 		SyncMode:           *syncMode,
 		BaseTimeout:        *baseTimeout,
 		Shards:             *shards,
+		MetricsAddr:        *metricsAddr,
 	})
 	if err != nil {
 		return err
 	}
 	defer func() { _ = r.Close() }()
-	fmt.Printf("ADDRS %s %s\n", r.Addr(), r.ClientAddr())
+	// The third ADDRS field is the metrics endpoint; "-" keeps the field
+	// positions stable when it is disabled. The parent requires only two
+	// fields, so old parents keep working.
+	maddr := r.MetricsAddr()
+	if maddr == "" {
+		maddr = "-"
+	}
+	fmt.Printf("ADDRS %s %s %s\n", r.Addr(), r.ClientAddr(), maddr)
 
 	in := bufio.NewScanner(os.Stdin)
 	for in.Scan() {
@@ -727,6 +924,28 @@ func replicaMain(args []string) error {
 		st := r.Stats()
 		fmt.Printf("STATS malformed=%d applied=%d reproposed=%d regime=%d\n",
 			st.MalformedBatches, st.AppliedCommands, st.Reproposed, st.RegimeTimeouts)
+	}
+	if r.MetricsAddr() != "" {
+		// Prove the endpoint end to end before exiting: scrape our own HTTP
+		// endpoint and require the decided-slot counters it serves to agree
+		// with the in-process Stats. Decisions can still be landing for a
+		// moment after the client's last confirmation, so poll until the two
+		// views settle on the same number.
+		var decided, statsDecided uint64
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			snap, err := fetchSnapshot(r.MetricsAddr())
+			if err != nil {
+				return fmt.Errorf("metrics self-scrape: %w", err)
+			}
+			decided = snapshotDecided(snap, *self, *shards)
+			statsDecided = r.Stats().DecidedSlots
+			if decided == statsDecided || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		fmt.Printf("METRICS decided=%d stats_decided=%d\n", decided, statsDecided)
 	}
 	return in.Err()
 }

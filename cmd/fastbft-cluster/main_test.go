@@ -37,12 +37,31 @@ func TestRunSmallCluster(t *testing.T) {
 // later restarted from its data directory at its old addresses, and a
 // different replica is killed — from then on only n−f replicas are alive,
 // so every further confirmed write (f+1 matching replies) proves the
-// recovered replica rejoined consensus from disk.
+// recovered replica rejoined consensus from disk. -metrics additionally has
+// the parent scrape each live child's introspection endpoint mid-workload
+// and cross-check the decided-slot counters against Stats on shutdown.
 func TestRunMultiProcessCluster(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns one OS process per replica")
 	}
-	if err := run([]string{"-f", "1", "-t", "1", "-procs", "-ops", "18", "-timeout", "90s"}); err != nil {
+	if err := run([]string{"-f", "1", "-t", "1", "-procs", "-metrics", "-ops", "18", "-timeout", "90s"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunMultiProcessShardedMetrics is the CI scraping test of the
+// observability layer at full width: every replica process hosts two
+// consensus groups, binds an HTTP introspection endpoint, and mid-workload
+// the parent requires each live endpoint to serve populated per-group
+// stage-latency histograms (proposed through replied), fsync latency and
+// coalescing instruments, per-kind protocol message counters, transport
+// frame counters, and the regime-timeout/view-change series — then requires
+// endpoint-vs-Stats agreement on shutdown.
+func TestRunMultiProcessShardedMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns one OS process per replica")
+	}
+	if err := run([]string{"-f", "1", "-t", "1", "-procs", "-shards", "2", "-metrics", "-ops", "24", "-timeout", "90s"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -60,7 +79,7 @@ func TestRunMultiProcessByzantine(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns one OS process per replica")
 	}
-	if err := run([]string{"-f", "1", "-t", "1", "-procs", "-byz", "garbage", "-ops", "12", "-timeout", "90s"}); err != nil {
+	if err := run([]string{"-f", "1", "-t", "1", "-procs", "-byz", "garbage", "-metrics", "-ops", "12", "-timeout", "90s"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -93,7 +112,7 @@ func TestRunMultiProcessLeaderKill(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns one OS process per replica")
 	}
-	if err := run([]string{"-f", "1", "-t", "1", "-procs", "-leaderkill", "-ops", "18", "-timeout", "90s"}); err != nil {
+	if err := run([]string{"-f", "1", "-t", "1", "-procs", "-leaderkill", "-metrics", "-ops", "18", "-timeout", "90s"}); err != nil {
 		t.Fatal(err)
 	}
 }

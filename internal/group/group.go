@@ -31,8 +31,10 @@ package group
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sigcrypto"
 	"repro/internal/smr"
 	"repro/internal/storage"
@@ -78,6 +80,16 @@ type Config struct {
 	DataDir string
 	// SyncMode is the WAL fsync policy when DataDir is set.
 	SyncMode storage.SyncMode
+	// Metrics, when set, receives the group's replica and storage series,
+	// labeled with the group number. Nil leaves the counters live but
+	// unexported.
+	Metrics *obs.Registry
+	// MetricsLabels are extra labels for this group's series (e.g. the
+	// replica id); the group label is added on top.
+	MetricsLabels obs.Labels
+	// Logger, when set, receives the group's structured events (a group
+	// field is appended). Nil falls back to the stdlib log package.
+	Logger *obs.Logger
 }
 
 // Rotation returns the identity rotation of group g in an n-process
@@ -131,13 +143,20 @@ func New(cfg Config) (*Group, error) {
 		signer = &groupSigner{inner: cfg.Signer, salt: salt, self: self}
 		verifier = &groupVerifier{inner: cfg.Verifier, salt: salt, rot: rot, n: n}
 	}
+	groupLabels := obs.Labels{"group": strconv.Itoa(cfg.Index)}
+	for k, v := range cfg.MetricsLabels {
+		groupLabels[k] = v
+	}
 	var disk *storage.Store
 	if cfg.DataDir != "" {
 		var err error
 		disk, err = storage.Open(storage.Config{
-			Dir:       cfg.DataDir,
-			Mode:      cfg.SyncMode,
-			Namespace: Namespace(cfg.Index, cfg.Shards),
+			Dir:           cfg.DataDir,
+			Mode:          cfg.SyncMode,
+			Namespace:     Namespace(cfg.Index, cfg.Shards),
+			Metrics:       cfg.Metrics,
+			MetricsLabels: groupLabels,
+			Logger:        cfg.Logger,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("group %d: opening data dir: %w", cfg.Index, err)
@@ -158,6 +177,9 @@ func New(cfg Config) (*Group, error) {
 		CheckpointInterval: cfg.CheckpointInterval,
 		Storage:            disk, // the replica owns it and closes it
 		Group:              uint64(cfg.Index),
+		Metrics:            cfg.Metrics,
+		MetricsLabels:      groupLabels,
+		Logger:             cfg.Logger,
 	})
 	if err != nil {
 		if disk != nil {

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"log"
+	"strings"
+)
+
+// Level is a log severity.
+type Level int32
+
+// Severities, in increasing order.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// Sink consumes one rendered log line.
+type Sink func(level Level, line string)
+
+// Logger is a leveled logger with constant key=value fields. A nil *Logger
+// is valid and logs through the process-default sink (the standard library
+// logger) at Info and above, so call sites never branch on configuration.
+//
+// Lines render as the formatted message followed by the logger's fields
+// appended as " key=value" pairs — the message text itself is unchanged, so
+// greps against historical log.Printf output keep matching.
+type Logger struct {
+	sink   Sink
+	min    Level
+	fields string // pre-rendered, leading space included
+}
+
+// NewLogger returns a logger writing lines at or above min to sink; a nil
+// sink selects the standard library logger.
+func NewLogger(sink Sink, min Level) *Logger {
+	if sink == nil {
+		sink = stdSink
+	}
+	return &Logger{sink: sink, min: min}
+}
+
+func stdSink(_ Level, line string) { log.Print(line) }
+
+// With returns a derived logger carrying additional key=value fields,
+// given as alternating keys and values.
+func (l *Logger) With(kv ...any) *Logger {
+	base := l
+	if base == nil {
+		base = &Logger{sink: stdSink, min: LevelInfo}
+	}
+	d := &Logger{sink: base.sink, min: base.min, fields: base.fields + renderFields(kv)}
+	return d
+}
+
+func renderFields(kv []any) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		fmt.Fprintf(&b, " %v=%v", kv[i], kv[i+1])
+	}
+	if len(kv)%2 != 0 {
+		fmt.Fprintf(&b, " %v=?", kv[len(kv)-1])
+	}
+	return b.String()
+}
+
+// Enabled reports whether lines at lvl would be emitted.
+func (l *Logger) Enabled(lvl Level) bool {
+	if l == nil {
+		return lvl >= LevelInfo
+	}
+	return lvl >= l.min
+}
+
+func (l *Logger) logf(lvl Level, format string, args ...any) {
+	if !l.Enabled(lvl) {
+		return
+	}
+	sink, fields := stdSink, ""
+	if l != nil {
+		sink, fields = l.sink, l.fields
+	}
+	sink(lvl, fmt.Sprintf(format, args...)+fields)
+}
+
+// Debugf logs at debug level.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Warnf logs at warn level.
+func (l *Logger) Warnf(format string, args ...any) { l.logf(LevelWarn, format, args...) }
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }

@@ -65,7 +65,7 @@ func (r *Replica) maybeCheckpointLocked() {
 	// Ordered, not durably gated: the digest is a deterministic function of
 	// the decided log, so a recovered replica could only ever re-sign the
 	// identical digest (see sendOrderedLocked).
-	r.broadcastOrderedLocked(envelope(syncSlot, m))
+	r.broadcastOrderedLocked(r.envOut(syncSlot, m))
 	r.onCheckpointLocked(r.cfg.Self, m)
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
@@ -197,10 +198,24 @@ func (r *Replica) queueCommitLocked(ev commitEvent) {
 // the decision record of the slot that produced the reply). The caller
 // holds r.mu.
 func (r *Replica) dispatchReplyLocked(cb ReplyFunc, rep *msg.Reply) {
+	r.dispatchReplyTracedLocked(cb, rep, nil)
+}
+
+// dispatchReplyTracedLocked is dispatchReplyLocked with the trace of the
+// slot that produced the reply: the replied stage is stamped at the moment
+// the callback is released — after the durability gate, since a reply is a
+// promise the command survives a crash. tr may be nil (cached replies whose
+// slot instance is gone). Marks are atomic, so stamping from the effect
+// goroutine without r.mu is safe.
+func (r *Replica) dispatchReplyTracedLocked(cb ReplyFunc, rep *msg.Reply, tr *obs.Trace) {
 	if r.recovering {
 		return
 	}
+	r.countOut(msg.KindReply)
 	run := func() {
+		if tr != nil {
+			r.m.tracer.MarkNow(tr, obs.StageReplied)
+		}
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
@@ -261,7 +276,7 @@ func (r *Replica) recoverFromStore() error {
 			continue
 		}
 		r.decided[s] = d
-		r.statDecided++
+		r.m.decided.Inc()
 	}
 	for s, cc := range rec.Certs {
 		if s < r.applyPtr {

@@ -15,6 +15,7 @@ type pendingQueue struct {
 
 type pendingEntry struct {
 	cmd        Command
+	enq        int64 // tracer enqueue timestamp (nanos since tracer epoch; 0 = untracked)
 	prev, next *pendingEntry
 }
 
@@ -34,10 +35,16 @@ func (q *pendingQueue) Contains(cmd Command) bool {
 // PushBack appends cmd unless it is already queued, reporting whether it was
 // added. The command bytes are retained (not copied); callers own them.
 func (q *pendingQueue) PushBack(cmd Command) bool {
+	return q.PushBackAt(cmd, 0)
+}
+
+// PushBackAt is PushBack carrying the command's tracer enqueue timestamp,
+// which survives until the command is popped into a proposal chunk.
+func (q *pendingQueue) PushBackAt(cmd Command, enq int64) bool {
 	if q.Contains(cmd) {
 		return false
 	}
-	e := &pendingEntry{cmd: cmd, prev: q.tail}
+	e := &pendingEntry{cmd: cmd, enq: enq, prev: q.tail}
 	if q.tail != nil {
 		q.tail.next = e
 	} else {
@@ -94,16 +101,29 @@ func (q *pendingQueue) unlink(e *pendingEntry) {
 // PopFront removes and returns up to max commands from the front, oldest
 // first.
 func (q *pendingQueue) PopFront(max int) []Command {
+	cmds, _ := q.PopFrontTraced(max)
+	return cmds
+}
+
+// PopFrontTraced is PopFront that also returns the oldest (smallest nonzero)
+// tracer enqueue timestamp among the popped commands, or 0 if none carried
+// one. The oldest timestamp seeds the submit stage of the slot that proposes
+// the chunk: a batch's latency is the latency of its most-delayed command.
+func (q *pendingQueue) PopFrontTraced(max int) ([]Command, int64) {
 	if max <= 0 || q.head == nil {
-		return nil
+		return nil, 0
 	}
 	out := make([]Command, 0, max)
+	oldest := int64(0)
 	for q.head != nil && len(out) < max {
 		e := q.head
 		out = append(out, e.cmd)
+		if e.enq != 0 && (oldest == 0 || e.enq < oldest) {
+			oldest = e.enq
+		}
 		q.unlink(e)
 	}
-	return out
+	return out, oldest
 }
 
 // Filter removes every command for which keep returns false, preserving

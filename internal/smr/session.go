@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -129,6 +131,7 @@ func (r *Replica) HandleRequest(req *msg.Request, reply ReplyFunc) error {
 		r.mu.Unlock()
 		return transport.ErrClosed
 	}
+	r.countIn(msg.KindRequest)
 	if sess := r.sessions[req.Client]; sess != nil && req.Seq <= sess.lastSeq {
 		// Stale: reject before it ever enters a proposal batch. Serve the
 		// cached reply for an exact retransmission of the last execution —
@@ -152,6 +155,7 @@ func (r *Replica) HandleRequest(req *msg.Request, reply ReplyFunc) error {
 	// not replica state).
 	w := wire.NewWriter(len(enc) + 10)
 	w.Uvarint(ctrlSlot)
+	r.countOut(msg.KindRequest)
 	r.broadcastOrderedLocked(append(w.Bytes(), enc...))
 	r.fillWindowLocked()
 	r.flushViewBufsLocked()
@@ -195,7 +199,7 @@ func (r *Replica) enqueueRequestLocked(req *msg.Request, enc Command) {
 	if r.pending.Contains(enc) {
 		return // duplicate arrival; don't clone just to discard the copy
 	}
-	r.pending.PushBack(enc.Clone())
+	r.pending.PushBackAt(enc.Clone(), r.m.tracer.Nanos(time.Now()))
 }
 
 // compactPendingLocked drops queued commands the session table has since
@@ -225,7 +229,7 @@ func (r *Replica) executeRequestLocked(slot uint64, cmd Command) {
 		return
 	}
 	result := r.cfg.App.Apply(slot, Command(req.Op).Clone())
-	r.statApplied++
+	r.m.applied.Inc()
 	sess := r.sessions[req.Client]
 	if sess == nil {
 		sess = &session{}
@@ -237,7 +241,11 @@ func (r *Replica) executeRequestLocked(slot uint64, cmd Command) {
 	if cb := r.replyTo[req.Client]; cb != nil {
 		// With storage the dispatch waits for the slot's decision record to
 		// be durable: a reply is a promise the command survives a crash.
-		r.dispatchReplyLocked(cb, r.cachedReplyLocked(req.Client, sess))
+		var tr *obs.Trace
+		if sl, ok := r.slots[slot]; ok {
+			tr = &sl.trace
+		}
+		r.dispatchReplyTracedLocked(cb, r.cachedReplyLocked(req.Client, sess), tr)
 	}
 }
 

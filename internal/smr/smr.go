@@ -37,13 +37,13 @@ package smr
 import (
 	"errors"
 	"fmt"
-	"log"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/quorum"
 	"repro/internal/sigcrypto"
 	"repro/internal/storage"
@@ -145,6 +145,19 @@ type Config struct {
 	// unsharded deployment — keeps requests and replies byte-identical to
 	// the pre-sharding wire format.
 	Group uint64
+	// Metrics, when set, exports the replica's counters, gauges, and staged
+	// request-latency histograms under MetricsLabels (see internal/obs).
+	// The replica counts either way — a nil registry hands out live,
+	// unexported metrics — so instrumentation adds no branches to the hot
+	// path and Stats() reads stay torn-free.
+	Metrics *obs.Registry
+	// MetricsLabels are the constant labels of this replica's series
+	// (typically {group: "<k>"} in a sharded deployment).
+	MetricsLabels obs.Labels
+	// Logger, when set, receives the replica's diagnostics with leveled
+	// severities; nil logs through the standard library logger with the
+	// historical message text.
+	Logger *obs.Logger
 }
 
 // Stats is a point-in-time snapshot of replica counters (see
@@ -208,12 +221,10 @@ type Replica struct {
 	commitCond *sync.Cond
 	commitDone bool
 
-	// Counters behind Stats().
-	statDecided   uint64
-	statApplied   uint64
-	statMalformed uint64
-	statReprop    uint64
-	statRegime    uint64
+	// Counters behind Stats(), registry-backed and atomic (see metrics.go),
+	// plus the staged request tracer.
+	m  replicaMetrics
+	lg *obs.Logger
 
 	// Regime timer: one leader-suspicion timer for the whole window (see
 	// pokeRegimeLocked). regimeGen invalidates in-flight AfterFunc fires
@@ -276,6 +287,11 @@ type slot struct {
 	// Cleared when the slot decides (the decision record supersedes them).
 	// Nil on replicas without storage.
 	ackLog []*msg.Propose
+	// trace carries the slot's pipeline-stage timestamps (submit is the
+	// oldest enqueue time of the slot's chunk on the proposer, and the
+	// instance-open time on followers); marks are atomic, so the storage
+	// effect queue can stamp durability without the replica lock.
+	trace obs.Trace
 }
 
 // commitEvent is one decided slot queued for the ordered OnCommit drainer.
@@ -329,6 +345,10 @@ func NewReplica(cfg Config) (*Replica, error) {
 		voteBuf:       make(map[types.View][]msg.WindowVoteEntry),
 	}
 	r.commitCond = sync.NewCond(&r.mu)
+	if cfg.Logger != nil {
+		r.lg = cfg.Logger.With("group", cfg.Group)
+	}
+	r.initMetricsLocked(cfg.Metrics, cfg.MetricsLabels)
 	if r.store != nil {
 		if err := r.recoverFromStore(); err != nil {
 			return nil, err
@@ -447,19 +467,21 @@ func (r *Replica) PendingCount() int {
 	return r.pending.Len() + len(r.inflight)
 }
 
-// Stats returns a snapshot of the replica's counters.
+// Stats returns a snapshot of the replica's counters. The counters are
+// registry-backed atomics, so each value is read torn-free; the queue
+// depths and frontier are read under the replica lock as before.
 func (r *Replica) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return Stats{
-		DecidedSlots:     r.statDecided,
+		DecidedSlots:     r.m.decided.Load(),
 		AppliedSlots:     r.applyPtr,
-		AppliedCommands:  r.statApplied,
-		MalformedBatches: r.statMalformed,
-		Reproposed:       r.statReprop,
+		AppliedCommands:  r.m.applied.Load(),
+		MalformedBatches: r.m.malformed.Load(),
+		Reproposed:       r.m.reproposed.Load(),
 		InflightCommands: len(r.inflight),
 		PendingCommands:  r.pending.Len(),
-		RegimeTimeouts:   r.statRegime,
+		RegimeTimeouts:   r.m.regime.Load(),
 		RegimeTimeout:    r.regimeDelayLocked(),
 	}
 }
@@ -578,12 +600,14 @@ func (r *Replica) fillWindowLocked() {
 // returns only if its slot decides a different value, so no command is ever
 // proposed in two live slots of this replica at once. The caller holds r.mu
 // and has compacted the queue.
-func (r *Replica) takeChunkLocked(s uint64) []Command {
-	chunk := r.pending.PopFront(r.cfg.MaxBatch)
+// It also returns the oldest tracer enqueue timestamp among the chunk's
+// commands (0 when untracked), which seeds the slot trace's submit stage.
+func (r *Replica) takeChunkLocked(s uint64) ([]Command, int64) {
+	chunk, oldest := r.pending.PopFrontTraced(r.cfg.MaxBatch)
 	for _, c := range chunk {
 		r.inflight[string(c)] = s
 	}
-	return chunk
+	return chunk, oldest
 }
 
 // ensureSlotLocked creates the consensus instance for slot s if it is
@@ -614,11 +638,12 @@ func (r *Replica) ensureSlotLocked(s uint64) *slot {
 func (r *Replica) startSlotLocked(s uint64, lead bool) *slot {
 	restored := r.restoredVotes[s]
 	var chunk []Command
+	var oldest int64
 	input := types.Value(nil)
 	if restored != nil && len(restored.Acks) > 0 {
 		input = restored.Acks[len(restored.Acks)-1].X.Clone()
 	} else if lead {
-		chunk = r.takeChunkLocked(s)
+		chunk, oldest = r.takeChunkLocked(s)
 		if len(chunk) > 0 {
 			input = EncodeBatch(chunk)
 		}
@@ -632,6 +657,15 @@ func (r *Replica) startSlotLocked(s uint64, lead bool) *slot {
 		return nil // configuration was validated at construction; unreachable
 	}
 	sl := &slot{proc: proc, proposed: chunk, born: time.Now()}
+	if oldest == 0 {
+		// Follower instances (and leaders with an empty queue) have no
+		// enqueue timestamp to backfill: their pipeline clock starts when
+		// the instance opens locally, so every replica's stage histograms
+		// fill, not just the proposer's.
+		oldest = r.m.tracer.Nanos(sl.born)
+	}
+	r.m.tracer.MarkAt(&sl.trace, obs.StageSubmit, oldest)
+	r.markStage(sl, obs.StageProposed, sl.born)
 	// The hook runs before the instance enters any view this replica leads —
 	// ahead of vote collection, however deliveries interleave — so a free
 	// selection proposes real pending commands, not a no-op.
@@ -666,11 +700,15 @@ func (r *Replica) enterSlotViewLocked(s uint64, sl *slot, v types.View) {
 		return
 	}
 	r.compactPendingLocked()
-	chunk := r.takeChunkLocked(s)
+	chunk, oldest := r.takeChunkLocked(s)
 	if len(chunk) == 0 {
 		return
 	}
 	sl.proposed = chunk
+	if oldest != 0 {
+		r.m.tracer.MarkAt(&sl.trace, obs.StageSubmit, oldest)
+	}
+	r.markStage(sl, obs.StageProposed, time.Now())
 	sl.proc.Replica().SetInput(EncodeBatch(chunk))
 }
 
@@ -703,6 +741,7 @@ func (r *Replica) routePayloadLocked(from types.ProcessID, s uint64, inner []byt
 		if !ok {
 			return
 		}
+		r.countIn(msg.KindRequest)
 		r.enqueueRequestLocked(req, Command(inner))
 		r.fillWindowLocked()
 		return
@@ -711,6 +750,7 @@ func (r *Replica) routePayloadLocked(from types.ProcessID, s uint64, inner []byt
 	if err != nil {
 		return
 	}
+	r.countIn(m.Kind())
 	if s == syncSlot {
 		r.onSyncLocked(from, m)
 		return
@@ -939,7 +979,7 @@ func (r *Replica) onRegimeTimer(gen uint64) {
 		r.armRegimeLocked()
 		return
 	}
-	r.statRegime++
+	r.m.regime.Inc()
 	r.regimeBackoff++
 	hi := r.regimeHorizonLocked()
 	for s := r.next; s < hi; s++ {
@@ -1017,7 +1057,7 @@ func (r *Replica) flushViewBufsLocked() {
 				for j < len(slots) && slots[j] <= slots[j-1]+1 && slots[j]-slots[i] < msg.MaxWindowSlots-1 {
 					j++
 				}
-				r.broadcastEnvLocked(envelope(viewSlot, &msg.WindowWish{View: v, Lo: slots[i], Hi: slots[j-1]}))
+				r.broadcastEnvLocked(r.envOut(viewSlot, &msg.WindowWish{View: v, Lo: slots[i], Hi: slots[j-1]}))
 				i = j
 			}
 		}
@@ -1038,7 +1078,7 @@ func (r *Replica) flushViewBufsLocked() {
 				if j > len(entries) {
 					j = len(entries)
 				}
-				r.sendEnvLocked(to, envelope(viewSlot, &msg.WindowVote{View: v, Entries: entries[i:j]}))
+				r.sendEnvLocked(to, r.envOut(viewSlot, &msg.WindowVote{View: v, Entries: entries[i:j]}))
 			}
 		}
 	}
@@ -1056,7 +1096,7 @@ func (r *Replica) applyActions(s uint64, sl *slot, actions []core.Action) {
 			switch t := act.Msg.(type) {
 			case *msg.CertRequest, *msg.CertAck:
 				// Stateless verification traffic (see sendOrderedLocked).
-				r.sendOrderedLocked(act.To, envelope(s, act.Msg))
+				r.sendOrderedLocked(act.To, r.envOut(s, act.Msg))
 			case *msg.Vote:
 				// Coalesced: a windowed view change makes every in-flight
 				// slot vote at once, and the votes of one (view, leader)
@@ -1068,13 +1108,13 @@ func (r *Replica) applyActions(s uint64, sl *slot, actions []core.Action) {
 			default:
 				// Anything else that exposes replica state waits for
 				// durability.
-				r.sendEnvLocked(act.To, envelope(s, act.Msg))
+				r.sendEnvLocked(act.To, r.envOut(s, act.Msg))
 			}
 		case core.BroadcastAction:
 			switch t := act.Msg.(type) {
 			case *msg.Ack:
 				r.persistVoteLocked(s, sl)
-				r.broadcastEnvLocked(envelope(s, act.Msg))
+				r.broadcastEnvLocked(r.envOut(s, act.Msg))
 			case *msg.Commit:
 				// A commit message commits the replica to nothing a crash
 				// could make it contradict (see sendOrderedLocked): it
@@ -1084,7 +1124,10 @@ func (r *Replica) applyActions(s uint64, sl *slot, actions []core.Action) {
 				// wave outrun the rest of the pipeline measurably widens
 				// the window in which a slow replica opens slots on traffic
 				// it cannot yet act on; proposals stay durably gated.)
-				r.broadcastOrderedLocked(envelope(s, act.Msg))
+				// A commit broadcast is the moment this replica saw an ack
+				// quorum for the slot's value — the tracer's ackquorum stage.
+				r.markStage(sl, obs.StageAckQuorum, time.Now())
+				r.broadcastOrderedLocked(r.envOut(s, act.Msg))
 			case *msg.Wish:
 				// Coalesced like votes: the wishes of one view collapse
 				// into WindowWish range broadcasts at flush. The slot's own
@@ -1092,7 +1135,7 @@ func (r *Replica) applyActions(s uint64, sl *slot, actions []core.Action) {
 				// buffering loses nothing on this replica.
 				r.wishBuf[t.View] = append(r.wishBuf[t.View], s)
 			default:
-				r.broadcastEnvLocked(envelope(s, act.Msg))
+				r.broadcastEnvLocked(r.envOut(s, act.Msg))
 			}
 		case core.TimerAction:
 			// Per-slot deadlines are superseded by the regime timer: one
@@ -1102,8 +1145,12 @@ func (r *Replica) applyActions(s uint64, sl *slot, actions []core.Action) {
 		case core.DecideAction:
 			r.onDecideLocked(s, act.Decision)
 		case core.EnterViewAction:
-			// Observability only (the input graft runs through the
-			// instance's enter hook; see enterSlotViewLocked).
+			// The input graft runs through the instance's enter hook (see
+			// enterSlotViewLocked); here the event is only counted — entering
+			// any view beyond the first means a leader was given up on.
+			if act.View >= 2 {
+				r.m.viewsTotal.Inc()
+			}
 		}
 	}
 }
@@ -1131,10 +1178,24 @@ func (r *Replica) onDecideLocked(s uint64, d types.Decision) {
 				r.ewmaDecide = (3*r.ewmaDecide + lat) / 4
 			}
 		}
+		r.markStage(sl, obs.StageDecided, time.Now())
+		if r.store != nil && !r.recovering {
+			// The decision record just entered the store's write pipeline;
+			// its effect fires once the record is fsynced, which is when the
+			// decision became durable. Trace marks are atomic, so stamping
+			// from the effect goroutine without r.mu is safe.
+			tr := &sl.trace
+			r.store.Effect(func() { r.m.tracer.MarkNow(tr, obs.StageDurable) })
+		}
 	}
 	delete(r.restoredVotes, s)
 	r.decided[s] = d
-	r.statDecided++
+	r.m.decided.Inc()
+	if d.Path == types.SlowPath {
+		r.m.pathSlow.Inc()
+	} else {
+		r.m.pathFast.Inc()
+	}
 	r.releaseProposedLocked(s, d.Value)
 	r.advanceLocked()
 }
@@ -1168,7 +1229,7 @@ func (r *Replica) releaseProposedLocked(s uint64, decided types.Value) {
 			continue // executed through another slot's batch meanwhile
 		}
 		if r.pending.PushFront(c) {
-			r.statReprop++
+			r.m.reproposed.Inc()
 		}
 	}
 	sl.proposed = nil
@@ -1226,10 +1287,13 @@ func (r *Replica) advanceLocked() {
 				// A decided value that is not a batch can only come from a
 				// Byzantine leader; the slot still advances the log, but the
 				// event must be observable.
-				r.statMalformed++
-				log.Printf("smr: replica %s: slot %d decided a malformed batch (%d bytes): %v",
+				r.m.malformed.Inc()
+				r.lg.Warnf("smr: replica %s: slot %d decided a malformed batch (%d bytes): %v",
 					r.cfg.Self, r.applyPtr, len(dd.Value), err)
 			}
+		}
+		if sl, ok := r.slots[r.applyPtr]; ok {
+			r.markStage(sl, obs.StageApplied, time.Now())
 		}
 		if r.cfg.OnCommit != nil {
 			r.queueCommitLocked(commitEvent{slot: r.applyPtr, d: dd})

@@ -81,7 +81,7 @@ func (r *Replica) sendFetchLocked(to types.ProcessID) {
 	r.fetchAt = r.applyPtr + 1
 	r.fetchTime = time.Now()
 	r.fetchRR = to
-	r.sendOrderedLocked(to, envelope(syncSlot, &msg.FetchState{From: r.applyPtr}))
+	r.sendOrderedLocked(to, r.envOut(syncSlot, &msg.FetchState{From: r.applyPtr}))
 	if r.fetchTimer != nil {
 		r.fetchTimer.Stop()
 	}
@@ -179,7 +179,7 @@ func (r *Replica) onFetchStateLocked(from types.ProcessID, m *msg.FetchState) {
 	if !resp.HasSnap && len(resp.Tail) == 0 {
 		return // nothing beyond what the chunks (if any) already carry
 	}
-	r.sendOrderedLocked(from, envelope(syncSlot, resp))
+	r.sendOrderedLocked(from, r.envOut(syncSlot, resp))
 }
 
 // sendSnapshotChunksLocked streams the stable snapshot to one requester as
@@ -196,7 +196,7 @@ func (r *Replica) sendSnapshotChunksLocked(to types.ProcessID) {
 		if end > len(snap) {
 			end = len(snap)
 		}
-		r.sendOrderedLocked(to, envelope(syncSlot, &msg.SnapshotChunk{
+		r.sendOrderedLocked(to, r.envOut(syncSlot, &msg.SnapshotChunk{
 			Cert:   *r.stable,
 			Total:  total,
 			Offset: uint64(off),

@@ -3,13 +3,14 @@ package storage
 import (
 	"errors"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -75,6 +76,16 @@ type Config struct {
 	// distinct namespaces never read or delete each other's files. Empty
 	// means the unprefixed pre-sharding layout.
 	Namespace string
+	// Metrics, when set, exports the store's counters and fsync-latency
+	// histogram under MetricsLabels (typically {group: "<k>"}). The store
+	// counts either way — a nil registry hands out live, unexported
+	// metrics — so Stats() is always torn-free.
+	Metrics *obs.Registry
+	// MetricsLabels are the constant labels of this store's series.
+	MetricsLabels obs.Labels
+	// Logger, when set, receives the store's (rare) diagnostics; nil logs
+	// through the standard library logger with the historical text.
+	Logger *obs.Logger
 }
 
 // VoteState is the recovered vote state of one log slot: every adopted-vote
@@ -174,12 +185,22 @@ type Store struct {
 	writeSeq   uint64
 	syncedSeq  uint64
 
-	// Counters behind Stats().
-	statRecords  uint64
-	statBatches  uint64
-	statSyncs    uint64
-	statInline   uint64
-	statSyncTime time.Duration
+	// Counters behind Stats(), registry-backed and atomic (reads are never
+	// torn, even against the flusher and syncer goroutines). recsWritten /
+	// recsSynced track records covered per fsync for the coalescing
+	// histogram; they are writer/syncer-stage values guarded by s.mu.
+	mRecords     *obs.Counter
+	mBatches     *obs.Counter
+	mSyncs       *obs.Counter
+	mInline      *obs.Counter
+	mWALBytes    *obs.Counter
+	mFsyncLat    *obs.Histogram
+	mCoalesce    *obs.Histogram
+	statSyncTime atomic.Int64 // cumulative fsync nanoseconds
+	recsWritten  uint64
+	recsSynced   uint64
+
+	lg *obs.Logger
 
 	// fileMu serializes WAL file writes between the flusher and the
 	// SyncNone inline fast path.
@@ -204,7 +225,16 @@ func Open(cfg Config) (*Store, error) {
 		done:       make(chan struct{}),
 		syncCh:     make(chan syncReq, 1024),
 		syncerDone: make(chan struct{}),
+		lg:         cfg.Logger,
 	}
+	reg, ls := cfg.Metrics, cfg.MetricsLabels
+	s.mRecords = reg.Counter("fastbft_wal_records_total", "WAL records appended", ls)
+	s.mBatches = reg.Counter("fastbft_wal_batches_total", "flusher batches drained", ls)
+	s.mSyncs = reg.Counter("fastbft_wal_syncs_total", "WAL fsyncs issued", ls)
+	s.mInline = reg.Counter("fastbft_wal_inline_effects_total", "effects run without a queue hop", ls)
+	s.mWALBytes = reg.Counter("fastbft_wal_bytes_total", "bytes written to the WAL", ls)
+	s.mFsyncLat = reg.Histogram("fastbft_fsync_seconds", "WAL fsync latency", ls, 1e9, obs.DefaultLatencyBuckets())
+	s.mCoalesce = reg.Histogram("fastbft_wal_coalesced_records", "WAL records covered per fsync (group-commit coalescing factor)", ls, 1, obs.CoalesceBuckets())
 	s.cond = sync.NewCond(&s.mu)
 	if err := s.recover(); err != nil {
 		return nil, err
@@ -243,7 +273,7 @@ func (s *Store) recover() error {
 	if validOff < int64(len(buf)) {
 		// Torn tail: drop it now so future appends continue from the last
 		// intact record instead of burying garbage mid-file.
-		log.Printf("storage: %s: truncating torn WAL tail (%d of %d bytes valid)",
+		s.lg.Warnf("storage: %s: truncating torn WAL tail (%d of %d bytes valid)",
 			s.dir, validOff, len(buf))
 		if err := os.Truncate(walPath, validOff); err != nil {
 			return err
@@ -313,12 +343,11 @@ type Stats struct {
 	SyncTime time.Duration
 }
 
-// Stats returns a snapshot of the store's counters.
+// Stats returns a snapshot of the store's counters. Every field is read
+// atomically — the snapshot is torn-free without taking the store's lock.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Stats{Records: s.statRecords, Batches: s.statBatches, Syncs: s.statSyncs,
-		Inline: s.statInline, SyncTime: s.statSyncTime}
+	return Stats{Records: s.mRecords.Load(), Batches: s.mBatches.Load(), Syncs: s.mSyncs.Load(),
+		Inline: s.mInline.Load(), SyncTime: time.Duration(s.statSyncTime.Load())}
 }
 
 // Err returns the sticky disk error, if any. Once a write or fsync fails
@@ -346,14 +375,15 @@ func (s *Store) Append(payload []byte, effects ...func()) {
 		s.mu.Unlock()
 		return
 	}
-	s.statRecords++
+	s.mRecords.Inc()
 	if s.mode == SyncNone && len(s.queue) == 0 && !s.flushing && s.err == nil {
 		wal := s.wal
-		s.statInline++
+		s.mInline.Inc()
 		s.mu.Unlock()
 		s.fileMu.Lock()
 		_, err := wal.Write(frame)
 		s.fileMu.Unlock()
+		s.mWALBytes.Add(uint64(len(frame)))
 		if err != nil {
 			s.fail(fmt.Errorf("storage: wal write: %w", err))
 			return
@@ -392,7 +422,7 @@ func (s *Store) Effect(f func()) {
 		return
 	}
 	if !s.unsyncedLocked() && s.err == nil {
-		s.statInline++
+		s.mInline.Inc()
 		s.mu.Unlock()
 		f()
 		return
@@ -413,7 +443,7 @@ func (s *Store) OrderedEffect(f func()) {
 		return
 	}
 	if len(s.queue) == 0 && !s.flushing && s.inSync == 0 && s.err == nil {
-		s.statInline++
+		s.mInline.Inc()
 		s.mu.Unlock()
 		f()
 		return
@@ -556,7 +586,7 @@ func (s *Store) flusher() {
 		batch := s.queue
 		s.queue = nil
 		s.flushing = true
-		s.statBatches++
+		s.mBatches.Inc()
 		s.mu.Unlock()
 		s.processBatch(batch)
 		s.mu.Lock()
@@ -644,9 +674,11 @@ func (s *Store) processBatch(batch []op) {
 		var frames []byte
 		var effects []effectEntry
 		durable := false
+		nrecs := uint64(0)
 		for j < len(batch) && batch[j].ckpt == nil {
 			if batch[j].frame != nil {
 				frames = append(frames, batch[j].frame...)
+				nrecs++
 			}
 			if batch[j].effect != nil {
 				effects = append(effects, effectEntry{f: batch[j].effect, ordered: batch[j].ordered})
@@ -661,12 +693,12 @@ func (s *Store) processBatch(batch []op) {
 			// before any effect of the segment is handed over.
 			for k := i; k < j; k++ {
 				if batch[k].frame != nil {
-					s.write(batch[k].frame)
+					s.write(batch[k].frame, 1)
 					s.syncNow()
 				}
 			}
 		} else if len(frames) > 0 {
-			s.write(frames)
+			s.write(frames, nrecs)
 		}
 		i = j
 		if len(effects) > 0 {
@@ -711,13 +743,28 @@ func (s *Store) syncUpTo() {
 		s.fail(fmt.Errorf("storage: wal fsync: %w", err))
 		return
 	}
+	s.recordSync(start)
 	s.mu.Lock()
-	s.statSyncs++
-	s.statSyncTime += time.Since(start)
 	if s.syncedSeq < seq {
 		s.syncedSeq = seq
 	}
 	s.mu.Unlock()
+}
+
+// recordSync accounts one completed fsync: count, latency, and how many
+// records it certified (the group-commit coalescing factor).
+func (s *Store) recordSync(start time.Time) {
+	d := time.Since(start)
+	s.mSyncs.Inc()
+	s.statSyncTime.Add(d.Nanoseconds())
+	s.mFsyncLat.ObserveDuration(d)
+	s.mu.Lock()
+	covered := s.recsWritten - s.recsSynced
+	s.recsSynced = s.recsWritten
+	s.mu.Unlock()
+	if covered > 0 {
+		s.mCoalesce.Observe(covered)
+	}
 }
 
 // syncNow fsyncs synchronously in the writer stage (SyncAlways only).
@@ -735,9 +782,8 @@ func (s *Store) syncNow() {
 		s.fail(fmt.Errorf("storage: wal fsync: %w", err))
 		return
 	}
+	s.recordSync(start)
 	s.mu.Lock()
-	s.statSyncs++
-	s.statSyncTime += time.Since(start)
 	if s.syncedSeq < seq {
 		s.syncedSeq = seq
 	}
@@ -755,9 +801,10 @@ func (s *Store) syncerBarrier() {
 	<-br
 }
 
-// write appends bytes to the WAL and bumps the write sequence the syncer
-// certifies against. Errors are sticky. Writer-stage only.
-func (s *Store) write(b []byte) {
+// write appends bytes holding nrecs records to the WAL and bumps the write
+// sequence the syncer certifies against. Errors are sticky. Writer-stage
+// only.
+func (s *Store) write(b []byte, nrecs uint64) {
 	if s.failed() || s.wal == nil {
 		return
 	}
@@ -768,8 +815,10 @@ func (s *Store) write(b []byte) {
 		s.fail(fmt.Errorf("storage: wal write: %w", err))
 		return
 	}
+	s.mWALBytes.Add(uint64(len(b)))
 	s.mu.Lock()
 	s.writeSeq++
+	s.recsWritten += nrecs
 	s.mu.Unlock()
 }
 
@@ -853,6 +902,6 @@ func (s *Store) fail(err error) {
 	defer s.mu.Unlock()
 	if s.err == nil {
 		s.err = err
-		log.Printf("storage: %s: %v (store disabled; effects withheld)", s.dir, err)
+		s.lg.Errorf("storage: %s: %v (store disabled; effects withheld)", s.dir, err)
 	}
 }

@@ -2,8 +2,10 @@ package transport
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -36,7 +38,22 @@ func NewGroupMux(inner Transport, groups int) *GroupMux {
 	for g := 0; g < groups; g++ {
 		m.views[g] = &groupView{mux: m, group: uint64(g), tag: groupTag(uint64(g))}
 	}
+	m.Instrument(nil, nil) // live but unexported counters until Instrument
 	return m
+}
+
+// Instrument registers per-group frame counters in reg (labels ls plus a
+// group label). Call before any view starts; a nil registry leaves the
+// counters live but unexported.
+func (m *GroupMux) Instrument(reg *obs.Registry, ls obs.Labels) {
+	for _, v := range m.views {
+		gl := obs.Labels{"group": strconv.FormatUint(v.group, 10)}
+		for k, val := range ls {
+			gl[k] = val
+		}
+		v.mFramesIn = reg.Counter("fastbft_mux_frames_in_total", "frames dispatched to this group's handler", gl)
+		v.mFramesOut = reg.Counter("fastbft_mux_frames_out_total", "frames this group sent or broadcast (a broadcast counts once)", gl)
+	}
 }
 
 // View returns group g's Transport view. Views are singletons: the same
@@ -70,6 +87,7 @@ func (m *GroupMux) dispatch(from types.ProcessID, payload []byte) {
 	h := v.handler
 	m.mu.Unlock()
 	if h != nil {
+		v.mFramesIn.Inc()
 		h(from, payload[n:])
 	}
 }
@@ -139,6 +157,8 @@ type groupView struct {
 	group uint64
 	tag   []byte
 
+	mFramesIn, mFramesOut *obs.Counter
+
 	// handler/started/closed are guarded by mux.mu: the mux reads the
 	// handler on every dispatch, and Start/Close bookkeeping spans views.
 	handler Handler
@@ -156,6 +176,7 @@ func (v *groupView) Send(to types.ProcessID, payload []byte) error {
 	if len(payload)+len(v.tag) > MaxFrame {
 		return fmt.Errorf("groupmux: payload %d bytes exceeds limit", len(payload))
 	}
+	v.mFramesOut.Inc()
 	return v.mux.inner.Send(to, append(append(make([]byte, 0, len(v.tag)+len(payload)), v.tag...), payload...))
 }
 
@@ -164,6 +185,7 @@ func (v *groupView) Broadcast(payload []byte) error {
 	if len(payload)+len(v.tag) > MaxFrame {
 		return fmt.Errorf("groupmux: payload %d bytes exceeds limit", len(payload))
 	}
+	v.mFramesOut.Inc()
 	return v.mux.inner.Broadcast(append(append(make([]byte, 0, len(v.tag)+len(payload)), v.tag...), payload...))
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sigcrypto"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -46,6 +47,12 @@ type TCPConfig struct {
 	Verifier sigcrypto.Verifier
 	// DialRetry is the reconnect backoff (default 100ms).
 	DialRetry time.Duration
+	// Metrics optionally registers this endpoint's frame/byte counters
+	// (physical peer-channel traffic, after any group multiplexing). A nil
+	// registry still counts — the counters just are not exported anywhere.
+	Metrics *obs.Registry
+	// MetricsLabels label the endpoint's series (typically the replica id).
+	MetricsLabels obs.Labels
 }
 
 // TCPTransport implements Transport over TCP with a signed handshake and
@@ -64,6 +71,9 @@ type TCPTransport struct {
 	peerAddrs []string
 	conns     map[net.Conn]struct{}
 	wg        sync.WaitGroup
+
+	mFramesIn, mBytesIn   *obs.Counter
+	mFramesOut, mBytesOut *obs.Counter
 }
 
 var _ Transport = (*TCPTransport)(nil)
@@ -82,6 +92,10 @@ func NewTCP(cfg TCPConfig) (*TCPTransport, error) {
 		return nil, fmt.Errorf("tcp listen %s: %w", cfg.ListenAddr, err)
 	}
 	t := &TCPTransport{cfg: cfg, listener: ln, conns: make(map[net.Conn]struct{})}
+	t.mFramesIn = cfg.Metrics.Counter("fastbft_net_frames_in_total", "peer-channel frames received", cfg.MetricsLabels)
+	t.mBytesIn = cfg.Metrics.Counter("fastbft_net_bytes_in_total", "peer-channel payload bytes received", cfg.MetricsLabels)
+	t.mFramesOut = cfg.Metrics.Counter("fastbft_net_frames_out_total", "peer-channel frames enqueued for send", cfg.MetricsLabels)
+	t.mBytesOut = cfg.Metrics.Counter("fastbft_net_bytes_out_total", "peer-channel payload bytes enqueued for send", cfg.MetricsLabels)
 	if cfg.Peers != nil {
 		t.peerAddrs = make([]string, len(cfg.Peers))
 		copy(t.peerAddrs, cfg.Peers)
@@ -180,6 +194,8 @@ func (t *TCPTransport) Send(to types.ProcessID, payload []byte) error {
 		return ErrClosed
 	}
 	t.peers[to].enqueue(payload)
+	t.mFramesOut.Inc()
+	t.mBytesOut.Add(uint64(len(payload)))
 	return nil
 }
 
@@ -274,6 +290,8 @@ func (t *TCPTransport) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		t.mFramesIn.Inc()
+		t.mBytesIn.Add(uint64(len(payload)))
 		t.mu.Lock()
 		h := t.handler
 		closed := t.closed

@@ -2,6 +2,7 @@ package fastbft
 
 import (
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -10,10 +11,22 @@ import (
 	"repro/internal/group"
 	"repro/internal/msg"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/smr"
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/types"
+)
+
+// Re-exported observability types (see internal/obs): every KVReplica owns a
+// Metrics registry; MetricsAddr exposes it over HTTP.
+type (
+	// MetricsRegistry is the replica's metrics registry.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time registry export.
+	MetricsSnapshot = obs.Snapshot
+	// Logger is a leveled, structured event logger.
+	Logger = obs.Logger
 )
 
 // NodeConfig parameterizes a real (TCP) consensus node.
@@ -178,6 +191,17 @@ type KVReplicaConfig struct {
 	// byte-for-byte the unsharded system. Every process of a cluster must
 	// configure the same value.
 	Shards int
+	// MetricsAddr, when non-empty, binds a per-replica HTTP introspection
+	// endpoint (e.g. "127.0.0.1:0") serving /metrics (Prometheus text),
+	// /metrics.json (a JSON snapshot), and /debug/pprof/. The endpoint is
+	// unauthenticated and intended for trusted networks only (see
+	// docs/THREAT_MODEL.md). Metrics are collected whether or not the
+	// endpoint is enabled; empty just leaves them unexposed.
+	MetricsAddr string
+	// Logger, when set, receives the replica's structured events with
+	// replica/group fields appended. Nil keeps the historical stdlib log
+	// output, line for line.
+	Logger *Logger
 }
 
 // KVReplica is one member of the replicated key-value store: the SMR layer
@@ -186,15 +210,17 @@ type KVReplicaConfig struct {
 // shared transport and data directory (see internal/group); keys route to
 // groups by hash.
 type KVReplica struct {
-	cluster  Config
-	self     ProcessID
-	shards   int
-	tr       *transport.TCPTransport
-	clientLn *transport.ClientListener // nil unless ClientListenAddr was set
-	groups   []*group.Group            // one per shard
-	stores   []*smr.KVStore            // parallel to groups
-	seq      atomic.Uint64
-	client   string
+	cluster    Config
+	self       ProcessID
+	shards     int
+	tr         *transport.TCPTransport
+	clientLn   *transport.ClientListener // nil unless ClientListenAddr was set
+	groups     []*group.Group            // one per shard
+	stores     []*smr.KVStore            // parallel to groups
+	seq        atomic.Uint64
+	client     string
+	reg        *MetricsRegistry
+	metricsSrv *obs.Server // nil unless MetricsAddr was set
 }
 
 // NewKVReplica builds a replica and binds its listener.
@@ -222,13 +248,21 @@ func NewKVReplica(cfg KVReplicaConfig) (*KVReplica, error) {
 			return nil, err
 		}
 	}
+	reg := obs.NewRegistry()
+	baseLabels := obs.Labels{"replica": strconv.Itoa(int(cfg.Self))}
+	lg := cfg.Logger
+	if lg != nil {
+		lg = lg.With("replica", int(cfg.Self))
+	}
 	tr, err := transport.NewTCP(transport.TCPConfig{
-		Self:       cfg.Self,
-		N:          cfg.Cluster.N,
-		ListenAddr: cfg.ListenAddr,
-		Peers:      cfg.Peers,
-		Signer:     cfg.Keys.scheme.Signer(cfg.Self),
-		Verifier:   cfg.Keys.scheme.Verifier(),
+		Self:          cfg.Self,
+		N:             cfg.Cluster.N,
+		ListenAddr:    cfg.ListenAddr,
+		Peers:         cfg.Peers,
+		Signer:        cfg.Keys.scheme.Signer(cfg.Self),
+		Verifier:      cfg.Keys.scheme.Verifier(),
+		Metrics:       reg,
+		MetricsLabels: baseLabels,
 	})
 	if err != nil {
 		return nil, err
@@ -246,13 +280,21 @@ func NewKVReplica(cfg KVReplicaConfig) (*KVReplica, error) {
 		shards:  cfg.Shards,
 		tr:      tr,
 		client:  fmt.Sprintf("replica-%d", cfg.Self),
+		reg:     reg,
 	}
+	reg.GaugeFunc("fastbft_replica_info", "static replica identity (always 1); labels carry the configuration",
+		obs.Labels{
+			"replica": strconv.Itoa(int(cfg.Self)),
+			"n":       strconv.Itoa(cfg.Cluster.N),
+			"shards":  strconv.Itoa(cfg.Shards),
+		}, func() float64 { return 1 })
 	// With one shard the raw transport is used directly — no group tag on
 	// the wire, no identity rotation, no storage namespace: byte-for-byte
 	// the pre-sharding system.
 	var mux *transport.GroupMux
 	if cfg.Shards > 1 {
 		mux = transport.NewGroupMux(tr, cfg.Shards)
+		mux.Instrument(reg, baseLabels)
 	}
 	closeGroups := func() {
 		for _, g := range kr.groups {
@@ -282,6 +324,9 @@ func NewKVReplica(cfg KVReplicaConfig) (*KVReplica, error) {
 			CheckpointInterval: cfg.CheckpointInterval,
 			DataDir:            cfg.DataDir,
 			SyncMode:           mode,
+			Metrics:            reg,
+			MetricsLabels:      baseLabels,
+			Logger:             lg,
 		})
 		if err != nil {
 			closeGroups()
@@ -311,6 +356,17 @@ func NewKVReplica(cfg KVReplicaConfig) (*KVReplica, error) {
 		}
 		kr.clientLn = ln
 	}
+	if cfg.MetricsAddr != "" {
+		srv, err := obs.NewServer(cfg.MetricsAddr, reg)
+		if err != nil {
+			if kr.clientLn != nil {
+				_ = kr.clientLn.Close()
+			}
+			closeGroups()
+			return nil, err
+		}
+		kr.metricsSrv = srv
+	}
 	return kr, nil
 }
 
@@ -325,6 +381,19 @@ func (r *KVReplica) ClientAddr() string {
 	}
 	return r.clientLn.Addr()
 }
+
+// MetricsAddr returns the bound introspection endpoint address, or "" when
+// MetricsAddr was not configured.
+func (r *KVReplica) MetricsAddr() string {
+	if r.metricsSrv == nil {
+		return ""
+	}
+	return r.metricsSrv.Addr()
+}
+
+// Metrics returns the replica's registry — always live, whether or not the
+// HTTP endpoint is enabled. Useful for in-process scraping and tests.
+func (r *KVReplica) Metrics() *MetricsRegistry { return r.reg }
 
 // SetPeers installs the cluster address table before Start.
 func (r *KVReplica) SetPeers(addrs []string) error { return r.tr.SetPeers(addrs) }
@@ -347,6 +416,9 @@ func (r *KVReplica) Start() error {
 // Close stops every group and the client listener. The shared transport
 // closes with the last group.
 func (r *KVReplica) Close() error {
+	if r.metricsSrv != nil {
+		_ = r.metricsSrv.Close()
+	}
 	if r.clientLn != nil {
 		_ = r.clientLn.Close()
 	}

@@ -1,0 +1,261 @@
+package fastbft
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// registryDecided sums the registry's decided-slot counter across a
+// replica's groups from one snapshot.
+func registryDecided(snap *obs.Snapshot, replica, shards int) uint64 {
+	var sum float64
+	for g := 0; g < shards; g++ {
+		v, _ := snap.Value("fastbft_slots_decided_total",
+			obs.Labels{"group": strconv.Itoa(g), "replica": strconv.Itoa(replica)})
+		sum += v
+	}
+	return uint64(sum)
+}
+
+// TestMetricsRegistryShardConsistency pins the one-registry invariant of the
+// observability layer: the per-group counters in the metrics registry, the
+// per-group ShardStats, and the aggregated Stats are three views of the same
+// atomics, so on a sharded replica they must agree exactly — per group and
+// in aggregate — once the deployment quiesces. Before the registry existed,
+// Stats was read field by field from unsynchronized counters; this test is
+// the regression fence for that torn-read class of bug.
+func TestMetricsRegistryShardConsistency(t *testing.T) {
+	cfg := GeneralizedConfig(1, 1) // n = 4
+	const shards = 2
+	keys := GenerateTestKeys(cfg.N, 31)
+	reps, _ := bootShardedCluster(t, cfg, keys, shards)
+	defer func() {
+		for _, r := range reps {
+			_ = r.Close()
+		}
+	}()
+
+	cl, err := NewKVClient("consistency-client", 2*time.Second, reps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+	const ops = 24
+	for i := 0; i < ops; i++ {
+		key, want := fmt.Sprintf("ck-%d", i), fmt.Sprintf("cv-%d", i)
+		if got, err := cl.Set(key, want); err != nil || got != want {
+			t.Fatalf("write %d: got %q, err %v", i, got, err)
+		}
+	}
+
+	for i, r := range reps {
+		// Decisions can still be landing for a moment after the last client
+		// confirmation (window slots deciding no-ops, followers catching
+		// up), and the two reads below are not one atomic observation — so
+		// poll until the registry view and the Stats view settle on the same
+		// numbers, and only then require exact agreement everywhere.
+		deadline := time.Now().Add(30 * time.Second)
+		var snap *obs.Snapshot
+		var st ReplicaStats
+		for {
+			snap = r.Metrics().Snapshot()
+			st = r.Stats()
+			if registryDecided(snap, i, shards) == st.DecidedSlots &&
+				st.AppliedCommands == ops {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %d: registry decided %d never settled on Stats decided %d (applied %d, want %d)",
+					i, registryDecided(snap, i, shards), st.DecidedSlots, st.AppliedCommands, ops)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+
+		var shardDecided, shardApplied, regApplied uint64
+		for g := 0; g < shards; g++ {
+			gs := r.ShardStats(g)
+			gl := obs.Labels{"group": strconv.Itoa(g), "replica": strconv.Itoa(i)}
+			d, ok := snap.Value("fastbft_slots_decided_total", gl)
+			if !ok {
+				t.Fatalf("replica %d group %d: decided counter not in the registry", i, g)
+			}
+			a, ok := snap.Value("fastbft_commands_applied_total", gl)
+			if !ok {
+				t.Fatalf("replica %d group %d: applied counter not in the registry", i, g)
+			}
+			// Per-group: the registry counter and the ShardStats field must
+			// be the very same number.
+			if uint64(d) != gs.DecidedSlots {
+				t.Fatalf("replica %d group %d: registry decided %d, ShardStats decided %d",
+					i, g, uint64(d), gs.DecidedSlots)
+			}
+			if uint64(a) != gs.AppliedCommands {
+				t.Fatalf("replica %d group %d: registry applied %d, ShardStats applied %d",
+					i, g, uint64(a), gs.AppliedCommands)
+			}
+			shardDecided += gs.DecidedSlots
+			shardApplied += gs.AppliedCommands
+			regApplied += uint64(a)
+		}
+		if shardDecided != st.DecidedSlots {
+			t.Fatalf("replica %d: per-group decided sum %d, aggregate Stats %d", i, shardDecided, st.DecidedSlots)
+		}
+		if shardApplied != st.AppliedCommands || regApplied != st.AppliedCommands {
+			t.Fatalf("replica %d: applied views disagree: shards %d, registry %d, Stats %d",
+				i, shardApplied, regApplied, st.AppliedCommands)
+		}
+	}
+}
+
+// TestMetricsEndpointLiveScrape drives a workload against a real TCP cluster
+// while scraping one replica's opt-in HTTP introspection endpoint — the
+// Prometheus text form and the JSON snapshot — and requires the counters to
+// be live (decided slots grow between scrapes) and the staged request tracer
+// to have carried batches all the way to "replied".
+func TestMetricsEndpointLiveScrape(t *testing.T) {
+	cfg := GeneralizedConfig(1, 1) // n = 4
+	keys := GenerateTestKeys(cfg.N, 37)
+	reps := make([]*KVReplica, cfg.N)
+	addrs := make([]string, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		c := KVReplicaConfig{
+			Cluster:    cfg,
+			Self:       ProcessID(i),
+			Keys:       keys,
+			ListenAddr: "127.0.0.1:0",
+		}
+		if i == 0 {
+			c.MetricsAddr = "127.0.0.1:0"
+		}
+		r, err := NewKVReplica(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = r
+		addrs[i] = r.Addr()
+	}
+	defer func() {
+		for _, r := range reps {
+			_ = r.Close()
+		}
+	}()
+	for _, r := range reps {
+		if err := r.SetPeers(addrs); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	maddr := reps[0].MetricsAddr()
+	if maddr == "" {
+		t.Fatal("replica 0 has no metrics endpoint despite MetricsAddr being set")
+	}
+	if reps[1].MetricsAddr() != "" {
+		t.Fatal("replica 1 bound a metrics endpoint without opting in")
+	}
+
+	scrapeJSON := func() *obs.Snapshot {
+		t.Helper()
+		resp, err := http.Get("http://" + maddr + "/metrics.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/metrics.json: HTTP %d", resp.StatusCode)
+		}
+		var snap obs.Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return &snap
+	}
+
+	// Scrape mid-workload: a client goroutine keeps the cluster busy —
+	// confirmed writes, so replies flow and the tracer reaches "replied" —
+	// while the main goroutine hits the endpoint.
+	cl, err := NewKVClient("scrape-client", 2*time.Second, reps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+	const ops = 30
+	done := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ops; i++ {
+			if _, err := cl.Set(fmt.Sprintf("sk-%d", i), fmt.Sprintf("sv-%d", i)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	first := scrapeJSON()
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var second *obs.Snapshot
+	for {
+		second = scrapeJSON()
+		if registryDecided(second, 0, 1) > registryDecided(first, 0, 1) &&
+			registryDecided(second, 0, 1) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("decided counter never advanced between scrapes: first %d, second %d",
+				registryDecided(first, 0, 1), registryDecided(second, 0, 1))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	replied, ok := second.HistCount("fastbft_stage_seconds",
+		obs.Labels{"group": "0", "replica": "0", "stage": "replied"})
+	if !ok || replied == 0 {
+		t.Fatalf("stage histogram %q: present=%v count=%d, want live observations", "replied", ok, replied)
+	}
+	if !second.Has("fastbft_messages_in_total", obs.Labels{"group": "0", "replica": "0", "kind": "propose"}) {
+		t.Fatal("per-kind message counters missing from the JSON snapshot")
+	}
+
+	// The Prometheus text form must carry the same families, typed and
+	// help-annotated, so a stock scraper can ingest it.
+	resp, err := http.Get("http://" + maddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE fastbft_slots_decided_total counter",
+		"# TYPE fastbft_stage_seconds histogram",
+		"fastbft_stage_seconds_bucket",
+		`stage="replied"`,
+		"fastbft_net_frames_in_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics text output missing %q", want)
+		}
+	}
+}
